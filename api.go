@@ -1,0 +1,137 @@
+// Package manrsmeter reproduces the measurement pipeline of "Mind Your
+// MANRS: Measuring the MANRS Ecosystem" (Du et al., IMC 2022) on a
+// simulated Internet, and exposes the building blocks — RFC 6811 route
+// origin validation, IRR/RPSL parsing and validation, an RPKI model with
+// real signatures, BGP-4 wire codec and speaker, MRT archives, AS-level
+// topology with valley-free propagation, AS hegemony, and the MANRS
+// conformance engine — as a reusable library.
+//
+// Quick start:
+//
+//	world, err := manrsmeter.GenerateWorld(manrsmeter.DefaultConfig(42))
+//	pipe, err := manrsmeter.NewPipeline(world)
+//	fmt.Print(pipe.Fig5aRPKIOrigination().Render())
+//
+// or run every experiment at once:
+//
+//	manrsmeter.RunReport(os.Stdout, world, manrsmeter.ReportOptions{})
+package manrsmeter
+
+import (
+	"manrsmeter/internal/core"
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rov"
+	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/synth"
+)
+
+// Prefix is a validated IP prefix (IPv4 or IPv6).
+type Prefix = netx.Prefix
+
+// ParsePrefix parses CIDR notation into a Prefix.
+func ParsePrefix(s string) (Prefix, error) { return netx.ParsePrefix(s) }
+
+// MustParsePrefix is ParsePrefix that panics on error.
+func MustParsePrefix(s string) Prefix { return netx.MustParsePrefix(s) }
+
+// Route origin validation vocabulary (RFC 6811 extended with the paper's
+// invalid-ASN / invalid-length split).
+type (
+	// Status is a validation outcome.
+	Status = rov.Status
+	// Authorization is a (prefix, origin, max length) authorization: a
+	// VRP or an IRR route object.
+	Authorization = rov.Authorization
+	// ROVIndex answers origin-validation queries.
+	ROVIndex = rov.Index
+)
+
+// Validation statuses.
+const (
+	StatusNotFound      = rov.NotFound
+	StatusValid         = rov.Valid
+	StatusInvalidASN    = rov.InvalidASN
+	StatusInvalidLength = rov.InvalidLength
+)
+
+// NewROVIndex returns an empty origin-validation index.
+func NewROVIndex() *ROVIndex { return rov.NewIndex() }
+
+// RPKI substrate.
+type (
+	// VRP is a validated ROA payload.
+	VRP = rpki.VRP
+	// RIR identifies a Regional Internet Registry.
+	RIR = rpki.RIR
+)
+
+// MANRS conformance engine.
+type (
+	// Program is a MANRS program (ISP or CDN).
+	Program = manrs.Program
+	// Participant is a registered MANRS AS.
+	Participant = manrs.Participant
+	// MANRSRegistry is the participant list with join dates.
+	MANRSRegistry = manrs.Registry
+	// ASMetrics aggregates one AS's origination and propagation behavior.
+	ASMetrics = manrs.ASMetrics
+	// SizeClass buckets ASes by customer degree.
+	SizeClass = manrs.SizeClass
+)
+
+// Programs and size classes.
+const (
+	ProgramISP = manrs.ProgramISP
+	ProgramCDN = manrs.ProgramCDN
+
+	Small  = manrs.Small
+	Medium = manrs.Medium
+	Large  = manrs.Large
+)
+
+// NewMANRSRegistry returns an empty participant registry.
+func NewMANRSRegistry() *MANRSRegistry { return manrs.NewRegistry() }
+
+// ClassifySize maps a customer degree to its size class.
+func ClassifySize(customerDegree int) SizeClass { return manrs.ClassifySize(customerDegree) }
+
+// Conformant reports whether a prefix-origin with the given RPKI and IRR
+// statuses satisfies MANRS Actions 1/4 (§6.4).
+func Conformant(rpkiStatus, irrStatus Status) bool { return manrs.Conformant(rpkiStatus, irrStatus) }
+
+// Unconformant reports whether a prefix-origin is MANRS-unconformant.
+func Unconformant(rpkiStatus, irrStatus Status) bool {
+	return manrs.Unconformant(rpkiStatus, irrStatus)
+}
+
+// Simulation and pipeline.
+type (
+	// Config parameterizes the synthetic Internet generator.
+	Config = synth.Config
+	// World is a generated ecosystem.
+	World = synth.World
+	// Pipeline runs the paper's experiments over a World.
+	Pipeline = core.Pipeline
+	// Cohort is one of the six comparison groups (size class × membership).
+	Cohort = core.Cohort
+	// Dataset is the IHR-style view: prefix-origin and transit datasets.
+	Dataset = ihr.Dataset
+	// FilterPolicy is one AS's route filtering behavior.
+	FilterPolicy = ihr.Policy
+)
+
+// DefaultConfig returns the generator defaults calibrated to the paper's
+// May 2022 measurements.
+func DefaultConfig(seed int64) Config { return synth.NewConfig(seed) }
+
+// GenerateWorld builds a synthetic Internet from cfg.
+func GenerateWorld(cfg Config) (*World, error) { return synth.Generate(cfg) }
+
+// NewPipeline prepares the experiment pipeline (builds the headline
+// dataset and per-AS metrics).
+func NewPipeline(w *World) (*Pipeline, error) { return core.NewPipeline(w) }
+
+// ComputeMetrics aggregates a dataset into per-AS metrics (Formulas 1–6).
+func ComputeMetrics(ds *Dataset) map[uint32]*ASMetrics { return manrs.ComputeMetrics(ds) }

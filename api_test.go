@@ -1,0 +1,98 @@
+package manrsmeter
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func smallConfig(seed int64) Config {
+	cfg := DefaultConfig(seed)
+	cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 50, 500, 6
+	cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 50, 15, 2, 3
+	return cfg
+}
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	// The README quickstart, verbatim in spirit.
+	ix := NewROVIndex()
+	err := ix.Add(Authorization{Prefix: MustParsePrefix("192.0.2.0/24"), ASN: 64500, MaxLength: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.Validate(MustParsePrefix("192.0.2.0/24"), 64500); got != StatusValid {
+		t.Errorf("status = %v", got)
+	}
+	if got := ix.Validate(MustParsePrefix("192.0.2.0/24"), 64666); got != StatusInvalidASN {
+		t.Errorf("status = %v", got)
+	}
+	if !Conformant(StatusValid, StatusNotFound) {
+		t.Error("RPKI-valid must be conformant")
+	}
+	if !Unconformant(StatusInvalidASN, StatusNotFound) {
+		t.Error("RPKI-invalid-only must be unconformant")
+	}
+	if ClassifySize(200) != Large || ClassifySize(1) != Small {
+		t.Error("size classification")
+	}
+}
+
+func TestRunReportEndToEnd(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = RunReport(&buf, world, ReportOptions{StabilityWeeks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Every table and figure of the evaluation must appear.
+	for _, want := range []string{
+		"Figure 2", "Figure 4a", "Figure 4b", "Finding 7.0",
+		"Figure 5a", "Figure 5b", "Action 4", "Table 1",
+		"Finding 8.7", "Figure 6", "Figure 7a", "Figure 7b",
+		"Figure 8", "Table 2", "Figure 9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunReportSkipStability(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RunReport(&buf, world, ReportOptions{SkipStability: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "skipped") {
+		t.Error("skip note missing")
+	}
+}
+
+func TestComputeMetricsThroughFacade(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := world.DatasetAt(world.Date(world.Config.EndYear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := ComputeMetrics(ds)
+	if len(ms) == 0 {
+		t.Fatal("no metrics")
+	}
+	origTotal := 0
+	for _, m := range ms {
+		origTotal += m.Originated
+	}
+	if origTotal != len(ds.PrefixOrigins) {
+		t.Errorf("metrics cover %d originations, dataset has %d", origTotal, len(ds.PrefixOrigins))
+	}
+}

@@ -1,0 +1,596 @@
+package manrsmeter
+
+// One benchmark per table and figure of the paper's evaluation (see
+// DESIGN.md's per-experiment index), plus the ablation benches for the
+// design choices DESIGN.md calls out. Each figure bench re-runs the
+// experiment computation over a shared, lazily-built pipeline so -bench
+// output reports the marginal cost of the analysis itself; the dataset
+// build and world generation are benchmarked separately.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/bgp/mrt"
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/core"
+	"manrsmeter/internal/hegemony"
+	"manrsmeter/internal/irr"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rov"
+	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/rpki/rtr"
+	"manrsmeter/internal/rpsl"
+	"manrsmeter/internal/synth"
+)
+
+var (
+	benchOnce sync.Once
+	benchPipe *core.Pipeline
+	benchErr  error
+)
+
+// benchConfig is the shared bench world: big enough that every cohort is
+// populated, small enough that go test -bench runs in minutes.
+func benchConfig(seed int64) synth.Config {
+	cfg := synth.NewConfig(seed)
+	cfg.Tier1s = 4
+	cfg.LargeISPs = 4
+	cfg.MediumISPs = 80
+	cfg.SmallASes = 1600
+	cfg.CDNs = 10
+	cfg.MANRSSmall = 90
+	cfg.MANRSMedium = 30
+	cfg.MANRSLarge = 4
+	cfg.MANRSCDNs = 5
+	return cfg
+}
+
+func pipeline(b *testing.B) *core.Pipeline {
+	b.Helper()
+	benchOnce.Do(func() {
+		world, err := synth.Generate(benchConfig(1))
+		if err != nil {
+			benchErr = err
+			return
+		}
+		benchPipe, benchErr = core.NewPipeline(world)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchPipe
+}
+
+// --- Figure and table benches ---
+
+func BenchmarkFig2Growth(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Fig2Growth(); len(r.Years) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig4aASesByRIR(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Fig4ByRIR(); len(r.ASes) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig4bAddressSpace(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Fig4ByRIR(); len(r.SpacePct) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFinding70Completeness(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Finding70(); r.MemberOrgs == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig5aRPKIOrigination(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := p.Fig5aRPKIOrigination(); len(f.Cohorts) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFig5bIRROrigination(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := p.Fig5bIRROrigination(); len(f.Cohorts) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkAction4Conformance(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := p.Action4(); len(rs) != 2 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+func BenchmarkTable1CaseStudies(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Table1CaseStudies(3, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStability(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Stability(3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6Saturation(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Fig6Saturation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aRPKIPropagation(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := p.Fig7aRPKIPropagation(); len(f.Cohorts) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFig7bIRRPropagation(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := p.Fig7bIRRPropagation(); len(f.Cohorts) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFig8Unconformant(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if f := p.Fig8Unconformant(); len(f.Cohorts) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkTable2Action1(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := p.Table2Action1(); len(rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig9PreferenceScore(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Fig9Preference(); len(r.Scores) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// --- Pipeline-stage benches ---
+
+func BenchmarkGenerateWorld(b *testing.B) {
+	cfg := benchConfig(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := synth.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatasetBuild(b *testing.B) {
+	world, err := synth.Generate(benchConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := world.DatasetAt(world.Date(world.Config.EndYear)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFullReport(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := RunReportWithPipeline(io.Discard, p, ReportOptions{SkipStability: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md "design choices") ---
+
+// rovFixture builds an index with n random authorizations plus the query
+// set used by both variants.
+func rovFixture(n int) (*rov.Index, []netx.Prefix, []uint32) {
+	r := rand.New(rand.NewSource(42))
+	ix := rov.NewIndex()
+	for i := 0; i < n; i++ {
+		var a [4]byte
+		r.Read(a[:])
+		bits := 8 + r.Intn(17)
+		p, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+		_ = ix.Add(rov.Authorization{Prefix: p, ASN: uint32(64500 + r.Intn(500)), MaxLength: bits + r.Intn(33-bits)})
+	}
+	prefixes := make([]netx.Prefix, 256)
+	asns := make([]uint32, 256)
+	for i := range prefixes {
+		var a [4]byte
+		r.Read(a[:])
+		bits := 8 + r.Intn(25)
+		prefixes[i], _ = netx.PrefixFrom(netip.AddrFrom4(a), bits)
+		asns[i] = uint32(64500 + r.Intn(500))
+	}
+	return ix, prefixes, asns
+}
+
+// BenchmarkROVTrieVsLinear quantifies the covering-lookup trie against a
+// full scan for RFC 6811 classification.
+func BenchmarkROVTrieVsLinear(b *testing.B) {
+	ix, prefixes, asns := rovFixture(10000)
+	b.Run("trie", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := i % len(prefixes)
+			ix.Validate(prefixes[q], asns[q])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q := i % len(prefixes)
+			ix.ValidateLinear(prefixes[q], asns[q])
+		}
+	})
+}
+
+// BenchmarkHegemonyTrim compares the 10%-trimmed hegemony against the
+// plain mean on realistic path sets.
+func BenchmarkHegemonyTrim(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	paths := make([][]uint32, 40)
+	for i := range paths {
+		path := []uint32{uint32(1000 + i)}
+		for h := 0; h < 2+r.Intn(4); h++ {
+			path = append(path, uint32(100+r.Intn(30)))
+		}
+		paths[i] = append(path, 999)
+	}
+	b.Run("trim10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hegemony.Scores(paths, hegemony.DefaultTrim)
+		}
+	})
+	b.Run("mean", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			hegemony.Scores(paths, 0)
+		}
+	})
+}
+
+// BenchmarkAsSetExpansion measures transitive as-set expansion with deep
+// nesting and cycles.
+func BenchmarkAsSetExpansion(b *testing.B) {
+	db := irr.NewDatabase("BENCH")
+	for i := 0; i < 200; i++ {
+		o := &rpsl.Object{}
+		o.Add("as-set", benchSetName(i))
+		members := ""
+		for m := 0; m < 5; m++ {
+			members += rpsl.FormatASN(uint32(i*10+m)) + ", "
+		}
+		members += benchSetName((i + 1) % 200) // chain with a terminal cycle
+		o.Add("members", members)
+		if err := db.AddObject(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reg := irr.NewRegistry()
+	reg.AddDatabase(db)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		asns, _ := reg.ExpandASSet(benchSetName(0))
+		if len(asns) != 1000 {
+			b.Fatalf("expanded %d", len(asns))
+		}
+	}
+}
+
+func benchSetName(i int) string { return "AS-BENCH-" + string(rune('A'+i%26)) + itoa(i) }
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkPropagation compares valley-free flooding with and without
+// import filters (the ROV cost inside the simulator).
+func BenchmarkPropagation(b *testing.B) {
+	world, err := synth.Generate(benchConfig(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := world.Graph
+	origins := g.Originations()
+	if len(origins) == 0 {
+		b.Fatal("no originations")
+	}
+	b.Run("no-filter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			og := origins[i%len(origins)]
+			g.Propagate(og.Prefix, og.Origin, nil)
+		}
+	})
+	b.Run("rov-filter", func(b *testing.B) {
+		filter := func(importer, neighbor uint32, _ netx.Prefix, _ uint32) bool {
+			_, deploys := world.Policies[importer]
+			return !deploys || importer%2 == 0
+		}
+		for i := 0; i < b.N; i++ {
+			og := origins[i%len(origins)]
+			g.Propagate(og.Prefix, og.Origin, filter)
+		}
+	})
+}
+
+// --- Substrate micro-benches ---
+
+func BenchmarkBGPUpdateEncodeDecode(b *testing.B) {
+	u := &wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64500, 64501, 64502, 4200000001}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI: []netx.Prefix{
+			netx.MustParsePrefix("198.51.100.0/24"),
+			netx.MustParsePrefix("203.0.113.0/24"),
+			netx.MustParsePrefix("10.0.0.0/8"),
+		},
+	}
+	b.Run("encode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Encode(u); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	enc, err := wire.Encode(u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.Decode(enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHijackImpact runs the §12-extension incident simulation.
+func BenchmarkHijackImpact(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.HijackImpact(50, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAction3 evaluates the contact-registration extension.
+func BenchmarkAction3(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := p.Action3(); r.MemberTotal == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkRouteLeaks runs the RFC 7908 leak-incident extension.
+func BenchmarkRouteLeaks(b *testing.B) {
+	p := pipeline(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RouteLeaks(20, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benches (cont.) ---
+
+func BenchmarkTrieCovering(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	tr := netx.NewTrie[int](false)
+	for i := 0; i < 50000; i++ {
+		var a [4]byte
+		r.Read(a[:])
+		p, _ := netx.PrefixFrom(netip.AddrFrom4(a), 8+r.Intn(17))
+		tr.Insert(p, i)
+	}
+	queries := make([]netx.Prefix, 1024)
+	for i := range queries {
+		var a [4]byte
+		r.Read(a[:])
+		queries[i], _ = netx.PrefixFrom(netip.AddrFrom4(a), 8+r.Intn(25))
+	}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = tr.Covering(dst[:0], queries[i%len(queries)])
+	}
+}
+
+func BenchmarkRPSLParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "route: 10.%d.0.0/16\norigin: AS%d\ndescr: bench object %d\n+ continued line\nsource: BENCH\n\n", i%256, 64500+i, i)
+	}
+	input := sb.String()
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		objs, err := rpsl.ParseAll(strings.NewReader(input))
+		if err != nil || len(objs) != 200 {
+			b.Fatalf("parse: %v (%d objs)", err, len(objs))
+		}
+	}
+}
+
+func BenchmarkROASignAndValidate(b *testing.B) {
+	t0 := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	t1 := t0.AddDate(5, 0, 0)
+	ta, err := rpki.NewTrustAnchor(rpki.RIPE, []netx.Prefix{netx.MustParsePrefix("10.0.0.0/8")}, t0, t1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sign", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_, err := ta.SignROA(64500, []rpki.ROAPrefix{{Prefix: netx.MustParsePrefix("10.1.0.0/16"), MaxLength: 24}}, t0, t1)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("relying-party", func(b *testing.B) {
+		repo := &rpki.Repository{}
+		for i := 0; i < 200; i++ {
+			roa, err := ta.SignROA(uint32(64500+i), []rpki.ROAPrefix{{Prefix: netx.MustParsePrefix("10.1.0.0/16"), MaxLength: 24}}, t0, t1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			repo.AddROA(roa)
+		}
+		rp, err := rpki.NewRelyingParty(ta.Cert)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp.Now = t0.AddDate(1, 0, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			vrps, _ := rp.Run(repo)
+			if len(vrps) != 200 {
+				b.Fatalf("vrps = %d", len(vrps))
+			}
+		}
+	})
+}
+
+func BenchmarkMRTRoundTrip(b *testing.B) {
+	ts := time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+	peers := []mrt.Peer{{BGPID: [4]byte{1, 1, 1, 1}, Addr: netip.MustParseAddr("10.0.0.1"), ASN: 64500}}
+	var ref bytes.Buffer
+	w := mrt.NewWriter(&ref, ts)
+	if err := w.WritePeerIndexTable([4]byte{9, 9, 9, 9}, "bench", peers); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		p := netx.MustParsePrefix(fmt.Sprintf("10.%d.%d.0/24", i/256, i%256))
+		err := w.WriteRIB(p, []mrt.RIBEntry{{PeerIndex: 0, OriginatedTime: ts, Path: []uint32{64500, uint32(65000 + i)}}})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	raw := ref.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dump, err := mrt.NewReader(bytes.NewReader(raw)).ReadAll()
+		if err != nil || len(dump.Records) != 500 {
+			b.Fatalf("read: %v", err)
+		}
+	}
+}
+
+func BenchmarkRTRFetch(b *testing.B) {
+	r := rand.New(rand.NewSource(9))
+	vrps := make([]rpki.VRP, 2000)
+	for i := range vrps {
+		var a [4]byte
+		r.Read(a[:])
+		bits := 16 + r.Intn(9)
+		p, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+		vrps[i] = rpki.VRP{Prefix: p, ASN: uint32(64500 + i), MaxLength: bits}
+	}
+	srv := rtr.NewServer(vrps)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := rtr.Fetch(addr.String())
+		if err != nil || len(res.VRPs) != len(vrps) {
+			b.Fatalf("fetch: %v", err)
+		}
+	}
+}

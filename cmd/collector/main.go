@@ -1,0 +1,93 @@
+// Command collector runs a RouteViews-style BGP route collector: it
+// accepts BGP-4 peerings on a TCP port, absorbs announcements into a
+// multi-peer RIB, and writes an MRT TABLE_DUMP_V2 snapshot either
+// periodically or on shutdown — input for cmd/hegemony and
+// cmd/manrs-audit.
+//
+// Usage:
+//
+//	collector -listen 127.0.0.1:1790 -asn 65000 -out rib.mrt [-interval 5m]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"manrsmeter/internal/bgp/bmp"
+	"manrsmeter/internal/bgp/collector"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("collector: ")
+	listen := flag.String("listen", "127.0.0.1:1790", "listen address for BGP peers")
+	bmpListen := flag.String("bmp", "", "optional listen address for BMP (RFC 7854) feeds")
+	asn := flag.Uint("asn", 65000, "collector AS number")
+	out := flag.String("out", "rib.mrt", "MRT snapshot path")
+	interval := flag.Duration("interval", 0, "periodic dump interval (0 = dump only on shutdown)")
+	flag.Parse()
+
+	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255})
+	addr, err := c.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("AS%d collecting on %s", *asn, addr)
+
+	var station *bmp.Station
+	if *bmpListen != "" {
+		station = bmp.NewStation()
+		bmpAddr, err := station.Listen(*bmpListen)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("accepting BMP feeds on %s", bmpAddr)
+	}
+
+	dump := func() {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Printf("dump: %v", err)
+			return
+		}
+		if err := c.DumpMRT(f, time.Now().UTC()); err != nil {
+			log.Printf("dump: %v", err)
+		}
+		if station != nil {
+			log.Printf("BMP: %d routers, %d peers up, %d routes (BMP routes are tracked separately)",
+				len(station.Routers()), station.PeersUp(), station.RIB().Len())
+		}
+		if err := f.Close(); err != nil {
+			log.Printf("dump: %v", err)
+			return
+		}
+		log.Printf("wrote %s: %d peers, %d routes", *out, c.NumPeers(), c.RIB().Len())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	if *interval > 0 {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				dump()
+			case <-stop:
+				dump()
+				_ = c.Close()
+				return
+			}
+		}
+	}
+	<-stop
+	dump()
+	_ = c.Close()
+	if station != nil {
+		_ = station.Close()
+	}
+}

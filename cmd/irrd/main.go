@@ -1,0 +1,72 @@
+// Command irrd serves IRR databases over the IRRd query protocol, the
+// way RADb does. Feed it RPSL dump files (from synthgen or a real
+// mirror) and query with the irrd shorthand operators filter-building
+// tools use.
+//
+// Usage:
+//
+//	irrd -listen 127.0.0.1:4343 ripe.db radb.db
+//	irrd -query '!gAS64500' ripe.db             # one-shot, no server
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+
+	"manrsmeter/internal/irr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("irrd: ")
+	listen := flag.String("listen", "127.0.0.1:4343", "listen address")
+	query := flag.String("query", "", "answer one query against the loaded databases and exit")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("no database dumps given")
+	}
+
+	registry := irr.NewRegistry()
+	for _, path := range flag.Args() {
+		name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		name = strings.TrimPrefix(name, "irr-")
+		db := irr.NewDatabase(name)
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		skipped, err := db.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load %s: %v", path, err)
+		}
+		log.Printf("loaded %s: %d objects, %d routes (%d malformed skipped)",
+			db.Name, db.NumObjects(), len(db.Routes()), skipped)
+		registry.AddDatabase(db)
+	}
+
+	srv := irr.NewQueryServer(registry)
+	if *query != "" {
+		fmt.Print(srv.Answer(*query))
+		return
+	}
+
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d route objects on %s", registry.NumRoutes(), addr)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

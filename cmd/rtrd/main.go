@@ -1,0 +1,71 @@
+// Command rtrd serves a validated-ROA snapshot to routers over the
+// RPKI-to-Router protocol (RFC 8210), like Routinator or StayRTR. Feed
+// it a VRP CSV (from synthgen or a real archive) and point an RTR client
+// at it; rtrd -fetch acts as that client for testing.
+//
+// Usage:
+//
+//	rtrd -vrps vrps.csv -listen 127.0.0.1:8282
+//	rtrd -fetch 127.0.0.1:8282
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/rpki/rtr"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rtrd: ")
+	vrpPath := flag.String("vrps", "", "validated-ROA CSV to serve")
+	listen := flag.String("listen", "127.0.0.1:8282", "listen address")
+	fetch := flag.String("fetch", "", "act as a client: fetch a snapshot from this cache and print it")
+	flag.Parse()
+
+	if *fetch != "" {
+		res, err := rtr.Fetch(*fetch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("session %d serial %d: %d VRPs\n", res.Session, res.Serial, len(res.VRPs))
+		for _, v := range res.VRPs {
+			fmt.Printf("%s AS%d max /%d\n", v.Prefix, v.ASN, v.MaxLength)
+		}
+		return
+	}
+
+	if *vrpPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*vrpPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vrps, err := rpki.ReadVRPCSV(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("read VRPs: %v", err)
+	}
+	srv := rtr.NewServer(vrps)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %d VRPs on %s (RTR v%d)", len(vrps), addr, rtr.Version)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

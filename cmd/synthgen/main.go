@@ -1,0 +1,170 @@
+// Command synthgen generates a synthetic Internet and writes it out in
+// the on-disk formats the paper's pipeline consumes: CAIDA as-rel /
+// as2org / prefix2as, a RIPE-style validated-ROA CSV, RPSL dumps of every
+// IRR database, a RouteViews-style MRT TABLE_DUMP_V2 RIB snapshot, and
+// the MANRS participant list.
+//
+// Usage:
+//
+//	synthgen [-seed N] [-scale small|full] -out DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/netip"
+	"os"
+	"path/filepath"
+
+	"manrsmeter"
+	"manrsmeter/internal/bgp/mrt"
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("synthgen: ")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.String("scale", "small", "world scale: small | full")
+	out := flag.String("out", "synth-data", "output directory")
+	flag.Parse()
+
+	cfg := manrsmeter.DefaultConfig(*seed)
+	if *scale == "small" {
+		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
+		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
+	} else if *scale != "full" {
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	world, err := synth.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generate: %v", err)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	write := func(name string, fn func(w io.Writer) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			log.Fatalf("write %s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("close %s: %v", path, err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	asOf := world.Date(cfg.EndYear)
+	world.SetSnapshot(asOf)
+
+	write("as-rel.txt", world.Graph.WriteASRel)
+	write("as2org.txt", world.Graph.WriteAS2Org)
+	write("prefix2as.txt", world.Graph.WritePrefix2AS)
+
+	vrps, err := world.VRPsAt(asOf)
+	if err != nil {
+		log.Fatalf("relying party: %v", err)
+	}
+	write("vrps.csv", func(f io.Writer) error { return writeVRPs(f, vrps) })
+
+	for _, db := range world.IRRRegistry.Databases() {
+		db := db
+		write(fmt.Sprintf("irr-%s.db", db.Name), db.Dump)
+	}
+
+	write("manrs-participants.csv", func(f io.Writer) error {
+		if _, err := fmt.Fprintln(f, "asn,org,program,joined"); err != nil {
+			return err
+		}
+		for _, p := range world.MANRS.Members(asOf) {
+			if _, err := fmt.Fprintf(f, "AS%d,%s,%s,%s\n", p.ASN, p.OrgID, p.Program, p.Joined.Format("2006-01-02")); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	write("peeringdb.json", world.PeeringDB.WriteJSON)
+
+	ds, err := world.DatasetAt(asOf)
+	if err != nil {
+		log.Fatalf("build IHR dataset: %v", err)
+	}
+	write("ihr-prefix-origins.csv", ds.WritePrefixOriginCSV)
+	write("ihr-transits.csv", ds.WriteTransitCSV)
+
+	write("rib.mrt", func(f io.Writer) error { return writeMRT(f, world, ds) })
+}
+
+func writeVRPs(f io.Writer, vrps []manrsmeter.VRP) error {
+	// Reuse the library's archive writer through the internal package is
+	// not possible from main; the format is simple enough to emit here in
+	// the same RIPE layout.
+	if _, err := fmt.Fprintln(f, "URI,ASN,IP Prefix,Max Length,Not Before,Not After"); err != nil {
+		return err
+	}
+	for _, v := range vrps {
+		if _, err := fmt.Fprintf(f, "rsync://rpki.example/repo/%s.roa,AS%d,%s,%d,,\n",
+			v.Prefix.Addr(), v.ASN, v.Prefix, v.MaxLength); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeMRT dumps the simulated collector's view: one RIB entry per
+// (prefix, vantage point that sees it), exactly how RouteViews archives
+// look.
+func writeMRT(f io.Writer, world *synth.World, ds *ihr.Dataset) error {
+	rpkiIx, irrIx, err := world.IndexesAt(world.Date(world.Config.EndYear))
+	if err != nil {
+		return err
+	}
+	filterFor := ihr.PolicyFilter(world.Graph, world.Policies, rpkiIx, irrIx)
+	w := mrt.NewWriter(f, world.Date(world.Config.EndYear))
+	peers := make([]mrt.Peer, len(world.VantagePoints))
+	peerIdx := make(map[uint32]uint16)
+	for i, asn := range world.VantagePoints {
+		peers[i] = mrt.Peer{
+			BGPID: [4]byte{10, 0, byte(i >> 8), byte(i)},
+			Addr:  netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+			ASN:   asn,
+		}
+		peerIdx[asn] = uint16(i)
+	}
+	if err := w.WritePeerIndexTable([4]byte{192, 0, 2, 1}, "manrsmeter-rib", peers); err != nil {
+		return err
+	}
+	// Recompute vantage paths per visible prefix-origin, under the same
+	// filtering policies the dataset builder applied.
+	for _, po := range ds.PrefixOrigins {
+		tree := world.Graph.Propagate(po.Prefix, po.Origin, filterFor(po.Prefix, po.Origin))
+		var entries []mrt.RIBEntry
+		for _, vp := range world.VantagePoints {
+			path := tree.PathFrom(vp)
+			if path == nil {
+				continue
+			}
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:      peerIdx[vp],
+				OriginatedTime: world.Date(world.Config.EndYear),
+				Path:           path,
+			})
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		if err := w.WriteRIB(po.Prefix, entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

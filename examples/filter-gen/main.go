@@ -1,0 +1,115 @@
+// Filter generation: the bgpq4 workflow behind MANRS Action 1. An
+// upstream reads its customer's aut-num policy from the IRR, expands the
+// announced as-set to origins, collects their registered routes into a
+// prefix filter, and shows the filter accepting registered announcements
+// while rejecting a hijack and an unregistered more-specific.
+//
+// Run with:
+//
+//	go run ./examples/filter-gen
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"manrsmeter/internal/irr"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpsl"
+)
+
+const customerIRR = `
+aut-num: AS64500
+as-name: CUSTOMER-NET
+import: from AS65000 accept ANY
+export: to AS65000 announce AS-CUSTNET
+source: EXAMPLE
+
+as-set: AS-CUSTNET
+members: AS64500, AS64510
+source: EXAMPLE
+
+route: 198.51.100.0/24
+origin: AS64500
+source: EXAMPLE
+
+route: 203.0.113.0/24
+origin: AS64510
+source: EXAMPLE
+
+route6: 2001:db8:1000::/36
+origin: AS64500
+source: EXAMPLE
+`
+
+func main() {
+	log.SetFlags(0)
+
+	db := irr.NewDatabase("EXAMPLE")
+	if skipped, err := db.Load(strings.NewReader(customerIRR)); err != nil || skipped != 0 {
+		log.Fatalf("load IRR objects: skipped=%d err=%v", skipped, err)
+	}
+	registry := irr.NewRegistry()
+	registry.AddDatabase(db)
+
+	// 1. Read the customer's export policy from its aut-num.
+	objs, err := rpsl.ParseAll(strings.NewReader(customerIRR))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var exportTerm string
+	for _, o := range objs {
+		if o.Class() != "aut-num" {
+			continue
+		}
+		policies, malformed := irr.ParsePolicies(o)
+		for _, m := range malformed {
+			log.Printf("skipping malformed policy %q", m)
+		}
+		for _, p := range policies {
+			if p.Export && p.Peer == 65000 {
+				exportTerm = p.Filter
+			}
+		}
+	}
+	if exportTerm == "" {
+		log.Fatal("customer registered no export policy toward AS65000")
+	}
+	fmt.Printf("customer exports %q toward AS65000\n", exportTerm)
+
+	// 2. Build the prefix filter the way bgpq4 would.
+	filter, err := registry.BuildPrefixFilter(exportTerm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("expanded to origins %v (%d prefixes", filter.ASNs, filter.Len())
+	if len(filter.MissingSets) > 0 {
+		fmt.Printf(", unresolved sets %v", filter.MissingSets)
+	}
+	fmt.Println("):")
+	for _, p := range filter.Prefixes() {
+		fmt.Printf("  permit %s\n", p)
+	}
+
+	// 3. Apply it to incoming announcements.
+	announcements := []struct {
+		prefix string
+		origin uint32
+		note   string
+	}{
+		{"198.51.100.0/24", 64500, "registered route"},
+		{"203.0.113.0/24", 64510, "registered route of a set member"},
+		{"203.0.113.0/24", 64666, "hijack: origin not in the set"},
+		{"198.51.100.128/25", 64500, "unregistered more-specific (de-aggregation)"},
+		{"192.0.2.0/24", 64500, "prefix never registered"},
+	}
+	fmt.Println("\napplying the filter on the customer session:")
+	for _, a := range announcements {
+		verdict := "REJECT"
+		if filter.Permits(netx.MustParsePrefix(a.prefix), a.origin) {
+			verdict = "accept"
+		}
+		fmt.Printf("  %-20s AS%-6d %-6s (%s)\n", a.prefix, a.origin, verdict, a.note)
+	}
+}

@@ -1,0 +1,68 @@
+// Quickstart: validate BGP announcements against the RPKI and the IRR
+// the way the paper classifies prefix-origins (§6.1), then check MANRS
+// conformance of each pair.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"manrsmeter"
+)
+
+func main() {
+	// Authoritative state: AS64500 holds 192.0.2.0/24 (ROA up to /24) and
+	// 198.51.100.0/24 is registered in the IRR only. 203.0.113.0/24 has an
+	// AS0 ROA ("do not route").
+	rpkiIndex := manrsmeter.NewROVIndex()
+	irrIndex := manrsmeter.NewROVIndex()
+	mustAdd := func(ix *manrsmeter.ROVIndex, prefix string, asn uint32, maxLen int) {
+		err := ix.Add(manrsmeter.Authorization{
+			Prefix:    manrsmeter.MustParsePrefix(prefix),
+			ASN:       asn,
+			MaxLength: maxLen,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	mustAdd(rpkiIndex, "192.0.2.0/24", 64500, 24)
+	mustAdd(rpkiIndex, "203.0.113.0/24", 0, 24) // AS0 ROA
+	mustAdd(irrIndex, "198.51.100.0/24", 64500, 24)
+
+	// Announcements seen in BGP.
+	announcements := []struct {
+		prefix string
+		origin uint32
+		note   string
+	}{
+		{"192.0.2.0/24", 64500, "legitimate, ROA matches"},
+		{"192.0.2.0/25", 64500, "too specific for the ROA"},
+		{"192.0.2.0/24", 64666, "origin hijack"},
+		{"198.51.100.0/24", 64500, "IRR-registered only"},
+		{"198.51.100.0/25", 64500, "more specific than the route object"},
+		{"203.0.113.0/24", 64500, "covered by an AS0 ROA"},
+		{"10.0.0.0/8", 64500, "registered nowhere"},
+	}
+
+	fmt.Printf("%-18s %-8s %-14s %-14s %-12s %s\n",
+		"prefix", "origin", "RPKI", "IRR", "MANRS", "note")
+	for _, a := range announcements {
+		prefix := manrsmeter.MustParsePrefix(a.prefix)
+		rpkiStatus := rpkiIndex.Validate(prefix, a.origin)
+		irrStatus := irrIndex.Validate(prefix, a.origin)
+		conf := "—"
+		switch {
+		case manrsmeter.Conformant(rpkiStatus, irrStatus):
+			conf = "conformant"
+		case manrsmeter.Unconformant(rpkiStatus, irrStatus):
+			conf = "UNCONFORMANT"
+		}
+		fmt.Printf("%-18s AS%-6d %-14s %-14s %-12s %s\n",
+			a.prefix, a.origin, rpkiStatus, irrStatus, conf, a.note)
+	}
+}

@@ -1,0 +1,3 @@
+module manrsmeter
+
+go 1.22

@@ -1,0 +1,196 @@
+package manrsmeter
+
+// Integration tests: exercise the cross-module seams at world scale —
+// the on-disk dataset formats round-trip, the RTR channel delivers the
+// exact VRP set the relying party produced, and the same world measured
+// through two different serialization paths yields identical metrics.
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"manrsmeter/internal/astopo"
+	"manrsmeter/internal/bgp/mrt"
+	"manrsmeter/internal/irr"
+	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/rpki/rtr"
+	"manrsmeter/internal/synth"
+)
+
+func integrationWorld(t *testing.T) *synth.World {
+	t.Helper()
+	cfg := synth.NewConfig(11)
+	cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 50, 500, 6
+	cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 50, 15, 2, 3
+	w, err := synth.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestASRelExportImportPreservesTopology(t *testing.T) {
+	w := integrationWorld(t)
+	var buf bytes.Buffer
+	if err := w.Graph.WriteASRel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2 := astopo.NewGraph()
+	if err := g2.ReadASRel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumASes() != w.Graph.NumASes() {
+		t.Fatalf("reimported %d ASes, want %d", g2.NumASes(), w.Graph.NumASes())
+	}
+	for _, asn := range w.Graph.ASNs() {
+		a, b := w.Graph.AS(asn), g2.AS(asn)
+		if !reflect.DeepEqual(a.Customers, b.Customers) ||
+			!reflect.DeepEqual(a.Providers, b.Providers) ||
+			!reflect.DeepEqual(a.Peers, b.Peers) {
+			t.Fatalf("AS%d relationships differ after round trip", asn)
+		}
+	}
+	// Customer degrees — and therefore the paper's size classes — are
+	// preserved.
+	for _, asn := range w.Graph.ASNs() {
+		if w.Graph.CustomerDegree(asn) != g2.CustomerDegree(asn) {
+			t.Fatalf("AS%d degree differs", asn)
+		}
+	}
+}
+
+func TestVRPArchiveRoundTripAtScale(t *testing.T) {
+	w := integrationWorld(t)
+	vrps, err := w.VRPsAt(w.Date(w.Config.EndYear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vrps) == 0 {
+		t.Fatal("no VRPs")
+	}
+	var buf bytes.Buffer
+	if err := rpki.WriteVRPCSV(&buf, vrps); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rpki.ReadVRPCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, vrps) {
+		t.Fatalf("VRP archive round trip lost data: %d vs %d", len(got), len(vrps))
+	}
+}
+
+func TestIRRDumpLoadAtScale(t *testing.T) {
+	w := integrationWorld(t)
+	for _, db := range w.IRRRegistry.Databases() {
+		var buf bytes.Buffer
+		if err := db.Dump(&buf); err != nil {
+			t.Fatal(err)
+		}
+		db2 := irr.NewDatabase(db.Name)
+		skipped, err := db2.Load(&buf)
+		if err != nil || skipped != 0 {
+			t.Fatalf("%s: load skipped=%d err=%v", db.Name, skipped, err)
+		}
+		if db2.NumObjects() != db.NumObjects() || len(db2.Routes()) != len(db.Routes()) {
+			t.Fatalf("%s: %d/%d objects, %d/%d routes", db.Name,
+				db2.NumObjects(), db.NumObjects(), len(db2.Routes()), len(db.Routes()))
+		}
+	}
+}
+
+func TestRTRDeliversRelyingPartyOutput(t *testing.T) {
+	w := integrationWorld(t)
+	vrps, err := w.VRPsAt(w.Date(w.Config.EndYear))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := rtr.NewServer(vrps)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	res, err := rtr.Fetch(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.VRPs, vrps) {
+		t.Fatalf("RTR snapshot differs: %d vs %d VRPs", len(res.VRPs), len(vrps))
+	}
+	// Validation through the RTR-fetched set matches direct validation.
+	direct, err := rpki.BuildIndex(vrps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetched, err := rpki.BuildIndex(res.VRPs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, og := range w.Graph.Originations()[:200] {
+		if direct.Validate(og.Prefix, og.Origin) != fetched.Validate(og.Prefix, og.Origin) {
+			t.Fatalf("validation differs for %s AS%d", og.Prefix, og.Origin)
+		}
+	}
+}
+
+func TestMRTCollectorViewRoundTrip(t *testing.T) {
+	w := integrationWorld(t)
+	w.SetSnapshot(w.Date(w.Config.EndYear))
+	origs := w.Graph.Originations()
+	if len(origs) > 300 {
+		origs = origs[:300]
+	}
+	peers := make([]mrt.Peer, len(w.VantagePoints))
+	peerIdx := map[uint32]uint16{}
+	for i, asn := range w.VantagePoints {
+		peers[i] = mrt.Peer{BGPID: [4]byte{1, 2, 3, byte(i)}, Addr: netip.AddrFrom4([4]byte{10, 0, 0, byte(i)}), ASN: asn}
+		peerIdx[asn] = uint16(i)
+	}
+	var buf bytes.Buffer
+	wr := mrt.NewWriter(&buf, w.Date(w.Config.EndYear))
+	if err := wr.WritePeerIndexTable([4]byte{9, 9, 9, 9}, "it", peers); err != nil {
+		t.Fatal(err)
+	}
+	wrote := 0
+	wantPaths := map[string][][]uint32{}
+	for _, og := range origs {
+		tree := w.Graph.Propagate(og.Prefix, og.Origin, nil)
+		var entries []mrt.RIBEntry
+		for _, vp := range w.VantagePoints {
+			if path := tree.PathFrom(vp); path != nil {
+				entries = append(entries, mrt.RIBEntry{PeerIndex: peerIdx[vp], OriginatedTime: w.Date(2022), Path: path})
+				wantPaths[og.Prefix.String()] = append(wantPaths[og.Prefix.String()], path)
+			}
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		if err := wr.WriteRIB(og.Prefix, entries); err != nil {
+			t.Fatal(err)
+		}
+		wrote++
+	}
+	dump, err := mrt.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Records) != wrote {
+		t.Fatalf("reparsed %d records, wrote %d", len(dump.Records), wrote)
+	}
+	// Paths survive the archive byte-exactly.
+	for _, rec := range dump.Records {
+		want := wantPaths[rec.Prefix.String()]
+		if len(want) != len(rec.Entries) {
+			t.Fatalf("%s: %d entries, want %d", rec.Prefix, len(rec.Entries), len(want))
+		}
+		for i, e := range rec.Entries {
+			if !reflect.DeepEqual(e.Path, want[i]) {
+				t.Fatalf("%s entry %d: path %v, want %v", rec.Prefix, i, e.Path, want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package astopo models the AS-level Internet: autonomous systems, their
+// organizations, business relationships (customer-provider and peer-peer),
+// the metrics CAIDA derives from them (customer cone, customer degree, AS
+// rank), and valley-free (Gao–Rexford) route propagation with pluggable
+// per-AS import filters.
+//
+// The package stands in for three of the paper's inputs at once: the
+// CAIDA as2org / as-rel / AS Rank datasets (exported in their file
+// formats), and — through the propagation engine — the public BGP view
+// (RouteViews/RIS) from which the Internet Health Report derives its
+// prefix-origin and transit datasets.
+package astopo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpki"
+)
+
+// AS is one autonomous system.
+type AS struct {
+	ASN   uint32
+	OrgID string
+	RIR   rpki.RIR
+	// CC is the ISO country code of the operating organization.
+	CC string
+
+	// Relationship sets, maintained by the Graph. Sorted ascending.
+	Providers []uint32
+	Customers []uint32
+	Peers     []uint32
+
+	// Prefixes originated by this AS.
+	Prefixes []netx.Prefix
+}
+
+// Org is an organization owning one or more ASes (the as2org view).
+type Org struct {
+	ID   string
+	Name string
+	CC   string
+	ASNs []uint32
+}
+
+// Graph is the AS-level topology. The zero value is not usable; call
+// NewGraph. Graph is not safe for concurrent mutation.
+type Graph struct {
+	ases map[uint32]*AS
+	orgs map[string]*Org
+	// adj caches the dense adjacency used by Propagate; invalidated on
+	// topology mutation.
+	adj *dense
+}
+
+// NewGraph returns an empty topology.
+func NewGraph() *Graph {
+	return &Graph{ases: make(map[uint32]*AS), orgs: make(map[string]*Org)}
+}
+
+// AddAS registers an AS under an organization, creating the organization
+// record on first use. Re-adding an existing ASN returns the existing AS.
+func (g *Graph) AddAS(asn uint32, orgID, orgName, cc string, rir rpki.RIR) *AS {
+	if a, ok := g.ases[asn]; ok {
+		return a
+	}
+	a := &AS{ASN: asn, OrgID: orgID, RIR: rir, CC: cc}
+	g.ases[asn] = a
+	g.adj = nil
+	o, ok := g.orgs[orgID]
+	if !ok {
+		o = &Org{ID: orgID, Name: orgName, CC: cc}
+		g.orgs[orgID] = o
+	}
+	o.ASNs = append(o.ASNs, asn)
+	sort.Slice(o.ASNs, func(i, j int) bool { return o.ASNs[i] < o.ASNs[j] })
+	return a
+}
+
+// AS returns the AS record for asn, or nil.
+func (g *Graph) AS(asn uint32) *AS { return g.ases[asn] }
+
+// Org returns the organization record, or nil.
+func (g *Graph) Org(id string) *Org { return g.orgs[id] }
+
+// NumASes returns the number of registered ASes.
+func (g *Graph) NumASes() int { return len(g.ases) }
+
+// ASNs returns all ASNs in ascending order.
+func (g *Graph) ASNs() []uint32 {
+	out := make([]uint32, 0, len(g.ases))
+	for asn := range g.ases {
+		out = append(out, asn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Orgs returns all organizations sorted by ID.
+func (g *Graph) Orgs() []*Org {
+	out := make([]*Org, 0, len(g.orgs))
+	for _, o := range g.orgs {
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func insertSorted(s []uint32, v uint32) []uint32 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// SetProviderCustomer records provider → customer. Both ASes must exist.
+func (g *Graph) SetProviderCustomer(provider, customer uint32) error {
+	p, c := g.ases[provider], g.ases[customer]
+	if p == nil || c == nil {
+		return fmt.Errorf("astopo: relationship %d→%d references unknown AS", provider, customer)
+	}
+	if provider == customer {
+		return fmt.Errorf("astopo: AS%d cannot be its own provider", provider)
+	}
+	p.Customers = insertSorted(p.Customers, customer)
+	c.Providers = insertSorted(c.Providers, provider)
+	g.adj = nil
+	return nil
+}
+
+// SetPeer records a settlement-free peering between a and b.
+func (g *Graph) SetPeer(a, b uint32) error {
+	pa, pb := g.ases[a], g.ases[b]
+	if pa == nil || pb == nil {
+		return fmt.Errorf("astopo: peering %d—%d references unknown AS", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("astopo: AS%d cannot peer with itself", a)
+	}
+	pa.Peers = insertSorted(pa.Peers, b)
+	pb.Peers = insertSorted(pb.Peers, a)
+	g.adj = nil
+	return nil
+}
+
+// Originate records that asn originates prefix.
+func (g *Graph) Originate(asn uint32, prefix netx.Prefix) error {
+	a := g.ases[asn]
+	if a == nil {
+		return fmt.Errorf("astopo: origination by unknown AS%d", asn)
+	}
+	a.Prefixes = append(a.Prefixes, prefix)
+	return nil
+}
+
+// CustomerDegree returns the number of direct AS customers — the size
+// classifier from Dhamdhere & Dovrolis used by the paper (§6.2).
+func (g *Graph) CustomerDegree(asn uint32) int {
+	a := g.ases[asn]
+	if a == nil {
+		return 0
+	}
+	return len(a.Customers)
+}
+
+// CustomerCone returns the set of ASes reachable from asn by descending
+// only customer links, excluding asn itself, ascending order. This is
+// CAIDA's AS-level customer cone.
+func (g *Graph) CustomerCone(asn uint32) []uint32 {
+	a := g.ases[asn]
+	if a == nil {
+		return nil
+	}
+	seen := map[uint32]bool{asn: true}
+	queue := append([]uint32(nil), a.Customers...)
+	var cone []uint32
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		cone = append(cone, c)
+		if ca := g.ases[c]; ca != nil {
+			queue = append(queue, ca.Customers...)
+		}
+	}
+	sort.Slice(cone, func(i, j int) bool { return cone[i] < cone[j] })
+	return cone
+}
+
+// Rank returns ASNs ordered by descending customer-cone size (ties by
+// ascending ASN) — the CAIDA AS Rank ordering.
+func (g *Graph) Rank() []uint32 {
+	type entry struct {
+		asn  uint32
+		cone int
+	}
+	entries := make([]entry, 0, len(g.ases))
+	for asn := range g.ases {
+		entries = append(entries, entry{asn, len(g.CustomerCone(asn))})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cone != entries[j].cone {
+			return entries[i].cone > entries[j].cone
+		}
+		return entries[i].asn < entries[j].asn
+	})
+	out := make([]uint32, len(entries))
+	for i, e := range entries {
+		out[i] = e.asn
+	}
+	return out
+}
+
+// WriteASRel writes the CAIDA as-rel format: "p|c|-1" for
+// provider-customer and "a|b|0" for peers, one edge per line, with the
+// lower ASN first for peer edges.
+func (g *Graph) WriteASRel(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# provider|customer|-1 , peer|peer|0"); err != nil {
+		return err
+	}
+	for _, asn := range g.ASNs() {
+		a := g.ases[asn]
+		for _, c := range a.Customers {
+			if _, err := fmt.Fprintf(bw, "%d|%d|-1\n", asn, c); err != nil {
+				return err
+			}
+		}
+		for _, p := range a.Peers {
+			if asn < p { // emit each peer edge once
+				if _, err := fmt.Fprintf(bw, "%d|%d|0\n", asn, p); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadASRel parses the CAIDA as-rel format into an existing graph,
+// creating placeholder ASes (org "unknown") for ASNs not yet present.
+func (g *Graph) ReadASRel(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		var a, b uint32
+		var rel int
+		if _, err := fmt.Sscanf(text, "%d|%d|%d", &a, &b, &rel); err != nil {
+			return fmt.Errorf("astopo: as-rel line %d: %w", line, err)
+		}
+		for _, asn := range []uint32{a, b} {
+			if g.ases[asn] == nil {
+				g.AddAS(asn, fmt.Sprintf("org-unknown-%d", asn), "unknown", "ZZ", rpki.ARIN)
+			}
+		}
+		switch rel {
+		case -1:
+			if err := g.SetProviderCustomer(a, b); err != nil {
+				return err
+			}
+		case 0:
+			if err := g.SetPeer(a, b); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("astopo: as-rel line %d: unknown relationship %d", line, rel)
+		}
+	}
+	return sc.Err()
+}
+
+// WriteAS2Org writes a simplified CAIDA as2org mapping:
+// "asn|org_id|org_name|country", one AS per line.
+func (g *Graph) WriteAS2Org(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# asn|org_id|org_name|country"); err != nil {
+		return err
+	}
+	for _, asn := range g.ASNs() {
+		a := g.ases[asn]
+		o := g.orgs[a.OrgID]
+		name := ""
+		if o != nil {
+			name = o.Name
+		}
+		if _, err := fmt.Fprintf(bw, "%d|%s|%s|%s\n", asn, a.OrgID, name, a.CC); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePrefix2AS writes the CAIDA prefix2as format: "address\tlength\tasn"
+// per originated prefix, ordered by ASN then prefix.
+func (g *Graph) WritePrefix2AS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, asn := range g.ASNs() {
+		a := g.ases[asn]
+		prefixes := append([]netx.Prefix(nil), a.Prefixes...)
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+		for _, p := range prefixes {
+			if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", p.Addr(), p.Bits(), asn); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Originations returns every (prefix, origin) pair in the topology,
+// ordered by origin ASN then prefix.
+func (g *Graph) Originations() []Origination {
+	var out []Origination
+	for _, asn := range g.ASNs() {
+		a := g.ases[asn]
+		prefixes := append([]netx.Prefix(nil), a.Prefixes...)
+		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+		for _, p := range prefixes {
+			out = append(out, Origination{Prefix: p, Origin: asn})
+		}
+	}
+	return out
+}
+
+// Origination is a (prefix, origin AS) pair.
+type Origination struct {
+	Prefix netx.Prefix
+	Origin uint32
+}
+
+// WritePPDCAses writes CAIDA's customer-cone file format
+// (".ppdc-ases"): one line per AS listing the AS followed by every
+// member of its customer cone (the AS itself first, per CAIDA
+// convention).
+func (g *Graph) WritePPDCAses(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# asn cone-member..."); err != nil {
+		return err
+	}
+	for _, asn := range g.ASNs() {
+		if _, err := fmt.Fprintf(bw, "%d", asn); err != nil {
+			return err
+		}
+		for _, c := range g.CustomerCone(asn) {
+			if _, err := fmt.Fprintf(bw, " %d", c); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadAS2Org parses the simplified as2org format written by WriteAS2Org
+// ("asn|org_id|org_name|country"), creating or updating AS and
+// organization records. ASes already present keep their relationships.
+func (g *Graph) ReadAS2Org(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 4)
+		if len(parts) != 4 {
+			return fmt.Errorf("astopo: as2org line %d: want 4 fields, got %d", line, len(parts))
+		}
+		asn64, err := strconv.ParseUint(parts[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("astopo: as2org line %d: %w", line, err)
+		}
+		asn := uint32(asn64)
+		if existing := g.ases[asn]; existing != nil {
+			existing.OrgID, existing.CC = parts[1], parts[3]
+			o, ok := g.orgs[parts[1]]
+			if !ok {
+				o = &Org{ID: parts[1], Name: parts[2], CC: parts[3]}
+				g.orgs[parts[1]] = o
+			}
+			o.ASNs = insertSorted(o.ASNs, asn)
+			continue
+		}
+		g.AddAS(asn, parts[1], parts[2], parts[3], rpki.ARIN)
+	}
+	return sc.Err()
+}
+
+// ReadPrefix2AS parses the CAIDA prefix2as format
+// ("address\tlength\tasn") into originations, creating placeholder ASes
+// when needed.
+func (g *Graph) ReadPrefix2AS(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text[0] == '#' {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return fmt.Errorf("astopo: prefix2as line %d: want 3 fields, got %d", line, len(fields))
+		}
+		prefix, err := netx.ParsePrefix(fields[0] + "/" + fields[1])
+		if err != nil {
+			return fmt.Errorf("astopo: prefix2as line %d: %w", line, err)
+		}
+		asn64, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return fmt.Errorf("astopo: prefix2as line %d: %w", line, err)
+		}
+		asn := uint32(asn64)
+		if g.ases[asn] == nil {
+			g.AddAS(asn, fmt.Sprintf("org-unknown-%d", asn), "unknown", "ZZ", rpki.ARIN)
+		}
+		if err := g.Originate(asn, prefix); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}

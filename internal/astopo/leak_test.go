@@ -1,0 +1,105 @@
+package astopo
+
+import (
+	"reflect"
+	"testing"
+
+	"manrsmeter/internal/netx"
+)
+
+func TestDetectLeakCleanPaths(t *testing.T) {
+	g := diamond(t)
+	// Every path produced by honest propagation is leak-free.
+	for _, origin := range []uint32{1, 2, 3, 4, 5, 6} {
+		tree := g.Propagate(pfx("10.0.0.0/16"), origin, nil)
+		for _, v := range g.ASNs() {
+			path := tree.PathFrom(v)
+			if path == nil {
+				continue
+			}
+			if leak, found := g.DetectLeak(path); found {
+				t.Errorf("clean path %v flagged: %+v", path, leak)
+			}
+		}
+	}
+}
+
+func TestDetectLeakFindsViolation(t *testing.T) {
+	g := diamond(t)
+	// AS4 learned a route from provider 1 and re-exported to provider 2:
+	// observed path (vantage 2 first): 2, 4, 1, 3, 5.
+	path := []uint32{2, 4, 1, 3, 5}
+	leak, found := g.DetectLeak(path)
+	if !found {
+		t.Fatal("leak not detected")
+	}
+	want := Leak{Leaker: 4, From: 1, To: 2}
+	if leak != want {
+		t.Errorf("leak = %+v, want %+v", leak, want)
+	}
+	// Peer-to-provider leak: 6 learned via peer 5, exported to provider 4.
+	path = []uint32{1, 4, 6, 5}
+	leak, found = g.DetectLeak(path)
+	if !found || leak.Leaker != 6 {
+		t.Errorf("peer leak = %+v found=%v", leak, found)
+	}
+}
+
+func TestDetectLeakEdgeCases(t *testing.T) {
+	g := diamond(t)
+	if _, found := g.DetectLeak(nil); found {
+		t.Error("nil path")
+	}
+	if _, found := g.DetectLeak([]uint32{1, 3}); found {
+		t.Error("two-hop paths cannot leak")
+	}
+	// Unknown edge: unclassifiable, no leak reported.
+	if _, found := g.DetectLeak([]uint32{1, 99, 5}); found {
+		t.Error("unknown edge should not be classified as a leak")
+	}
+}
+
+func TestPropagateLeak(t *testing.T) {
+	g := diamond(t)
+	p := pfx("10.5.0.0/16")
+	// AS5 originates; AS4 leaks. Normally AS2 reaches 10.5/16 via peer 1
+	// (path 2,1,3,5). After AS4 leaks, AS2 hears a *customer* route from
+	// 4 — customer beats peer, so AS2 switches to the leak path.
+	normal, leaked := g.PropagateLeak(p, 5, 4, nil)
+	if leaked == nil {
+		t.Fatal("no leak tree")
+	}
+	if got := normal.PathFrom(2); !reflect.DeepEqual(got, []uint32{2, 1, 3, 5}) {
+		t.Fatalf("normal path = %v", got)
+	}
+	leakPath := leaked.PathFrom(2)
+	if !reflect.DeepEqual(leakPath, []uint32{2, 4, 1, 3, 5}) {
+		t.Fatalf("leaked path = %v", leakPath)
+	}
+	// The leaked path is detectable.
+	leak, found := g.DetectLeak(leakPath)
+	if !found || leak.Leaker != 4 {
+		t.Errorf("leak detection on leaked path = %+v found=%v", leak, found)
+	}
+	// The victim's own path is unaffected.
+	if got := leaked.PathFrom(5); !reflect.DeepEqual(got, []uint32{5}) {
+		t.Errorf("origin path in leak tree = %v", got)
+	}
+}
+
+func TestPropagateLeakByOriginOrUnreached(t *testing.T) {
+	g := diamond(t)
+	p := pfx("10.5.0.0/16")
+	// Leaker == origin: no leak tree.
+	if _, leaked := g.PropagateLeak(p, 5, 5, nil); leaked != nil {
+		t.Error("origin cannot leak its own route")
+	}
+	// Leaker never heard the route (filtered above the origin): no leak
+	// tree.
+	filter := func(importer, neighbor uint32, prefix netx.Prefix, origin uint32) bool {
+		return importer != 3 // kill the route right above the origin
+	}
+	if _, leaked := g.PropagateLeak(p, 5, 4, filter); leaked != nil {
+		t.Error("unreached leaker cannot leak")
+	}
+}

@@ -1,0 +1,278 @@
+package astopo
+
+import (
+	"sort"
+
+	"manrsmeter/internal/netx"
+)
+
+// RouteClass orders routes by Gao–Rexford preference: routes learned from
+// customers are preferred over peer routes, which beat provider routes.
+type RouteClass uint8
+
+// Route classes in preference order (lower is better).
+const (
+	ClassOrigin RouteClass = iota
+	ClassCustomer
+	ClassPeer
+	ClassProvider
+	classNone RouteClass = 0xFF
+)
+
+// ImportFilter decides whether importer accepts a route for (prefix,
+// origin) from neighbor. Returning false drops the route at that edge —
+// this is how ROV and IRR filtering are modeled. A nil filter accepts
+// everything.
+type ImportFilter func(importer, neighbor uint32, prefix netx.Prefix, origin uint32) bool
+
+// RouteInfo is one AS's best route toward the propagated prefix.
+type RouteInfo struct {
+	Class RouteClass
+	// NextHop is the neighbor the route was learned from (0 at the origin).
+	NextHop uint32
+	// PathLen counts ASes on the path including the origin and this AS.
+	PathLen int
+}
+
+// dense is the compact adjacency view Propagate runs on: ASNs mapped to
+// contiguous indexes. It is rebuilt lazily after topology mutations.
+type dense struct {
+	asns      []uint32 // index → ASN
+	idx       map[uint32]int
+	providers [][]int32
+	customers [][]int32
+	peers     [][]int32
+}
+
+func (g *Graph) denseAdj() *dense {
+	if g.adj != nil {
+		return g.adj
+	}
+	d := &dense{idx: make(map[uint32]int, len(g.ases))}
+	d.asns = g.ASNs()
+	for i, asn := range d.asns {
+		d.idx[asn] = i
+	}
+	n := len(d.asns)
+	d.providers = make([][]int32, n)
+	d.customers = make([][]int32, n)
+	d.peers = make([][]int32, n)
+	conv := func(asns []uint32) []int32 {
+		out := make([]int32, 0, len(asns))
+		for _, a := range asns {
+			out = append(out, int32(d.idx[a]))
+		}
+		return out
+	}
+	for i, asn := range d.asns {
+		a := g.ases[asn]
+		d.providers[i] = conv(a.Providers)
+		d.customers[i] = conv(a.Customers)
+		d.peers[i] = conv(a.Peers)
+	}
+	g.adj = d
+	return d
+}
+
+// RouteTree is the result of propagating a single (prefix, origin):
+// every AS's best route, queryable by ASN.
+type RouteTree struct {
+	Prefix netx.Prefix
+	Origin uint32
+
+	d    *dense
+	info []RouteInfo // indexed densely; Class == classNone means no route
+	n    int
+}
+
+// Has reports whether asn learned a route.
+func (t *RouteTree) Has(asn uint32) bool {
+	_, ok := t.Info(asn)
+	return ok
+}
+
+// Info returns asn's best route and whether one exists.
+func (t *RouteTree) Info(asn uint32) (RouteInfo, bool) {
+	i, ok := t.d.idx[asn]
+	if !ok || t.info[i].Class == classNone {
+		return RouteInfo{}, false
+	}
+	return t.info[i], true
+}
+
+// Len returns the number of ASes that learned a route.
+func (t *RouteTree) Len() int { return t.n }
+
+// Reached returns the ASNs with a route, ascending.
+func (t *RouteTree) Reached() []uint32 {
+	out := make([]uint32, 0, t.n)
+	for i, info := range t.info {
+		if info.Class != classNone {
+			out = append(out, t.d.asns[i])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PathFrom reconstructs the AS path from asn to the origin (inclusive on
+// both ends). It returns nil when asn has no route.
+func (t *RouteTree) PathFrom(asn uint32) []uint32 {
+	if !t.Has(asn) {
+		return nil
+	}
+	var path []uint32
+	cur := asn
+	for {
+		path = append(path, cur)
+		info, ok := t.Info(cur)
+		if !ok {
+			return nil // broken chain; cannot happen with consistent trees
+		}
+		if info.NextHop == 0 && cur == t.Origin {
+			return path
+		}
+		if info.NextHop == 0 || len(path) > len(t.info)+1 {
+			return nil
+		}
+		cur = info.NextHop
+	}
+}
+
+// Propagate floods (prefix, origin) through the topology under
+// Gao–Rexford (valley-free) routing and returns the resulting route tree.
+//
+// Export rules: an AS exports routes learned from customers (and its own
+// routes) to everyone; routes learned from peers or providers are
+// exported only to customers. Selection: customer > peer > provider,
+// then shortest path, then lowest next-hop ASN (deterministic).
+//
+// The filter is consulted at every import edge; a dropped route does not
+// propagate further through that AS (matching how ROV deployment bounds
+// invalid-route visibility, §9.4).
+func (g *Graph) Propagate(prefix netx.Prefix, origin uint32, filter ImportFilter) *RouteTree {
+	d := g.denseAdj()
+	tree := &RouteTree{Prefix: prefix, Origin: origin, d: d, info: make([]RouteInfo, len(d.asns))}
+	for i := range tree.info {
+		tree.info[i].Class = classNone
+	}
+	oi, ok := d.idx[origin]
+	if !ok {
+		return tree
+	}
+	accept := filter
+	if accept == nil {
+		accept = func(uint32, uint32, netx.Prefix, uint32) bool { return true }
+	}
+	tree.info[oi] = RouteInfo{Class: ClassOrigin, NextHop: 0, PathLen: 1}
+	tree.n = 1
+
+	// better reports whether (class, plen, nh) beats the current route at
+	// node i.
+	better := func(i int, class RouteClass, plen int, nh uint32) bool {
+		cur := tree.info[i]
+		if cur.Class == classNone {
+			return true
+		}
+		if class != cur.Class {
+			return class < cur.Class
+		}
+		if plen != cur.PathLen {
+			return plen < cur.PathLen
+		}
+		return nh < cur.NextHop
+	}
+	set := func(i int, class RouteClass, plen int, nh uint32) {
+		if tree.info[i].Class == classNone {
+			tree.n++
+		}
+		tree.info[i] = RouteInfo{Class: class, NextHop: nh, PathLen: plen}
+	}
+
+	// Phase 1 — "up": customer routes climb provider links.
+	frontier := []int32{int32(oi)}
+	inNext := make([]bool, len(d.asns))
+	for len(frontier) > 0 {
+		var next []int32
+		for _, fi := range frontier {
+			inNext[fi] = false
+			info := tree.info[fi]
+			fromASN := d.asns[fi]
+			for _, pi := range d.providers[fi] {
+				if !better(int(pi), ClassCustomer, info.PathLen+1, fromASN) {
+					continue
+				}
+				if !accept(d.asns[pi], fromASN, prefix, origin) {
+					continue
+				}
+				set(int(pi), ClassCustomer, info.PathLen+1, fromASN)
+				if !inNext[pi] {
+					inNext[pi] = true
+					next = append(next, pi)
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Phase 2 — "across": ASes holding an origin/customer route export it
+	// to peers; peer routes stop there (valley-free). Candidates are
+	// collected first so update order cannot influence the outcome.
+	type peerCand struct {
+		at   int32
+		plen int
+		nh   uint32
+	}
+	var cands []peerCand
+	for i := range tree.info {
+		info := tree.info[i]
+		if info.Class > ClassCustomer {
+			continue
+		}
+		fromASN := d.asns[i]
+		for _, pi := range d.peers[i] {
+			cands = append(cands, peerCand{at: pi, plen: info.PathLen + 1, nh: fromASN})
+		}
+	}
+	for _, c := range cands {
+		if !better(int(c.at), ClassPeer, c.plen, c.nh) {
+			continue
+		}
+		if !accept(d.asns[c.at], c.nh, prefix, origin) {
+			continue
+		}
+		set(int(c.at), ClassPeer, c.plen, c.nh)
+	}
+
+	// Phase 3 — "down": all routes descend customer links (Bellman-Ford
+	// style; improvements re-queue).
+	frontier = frontier[:0]
+	for i := range tree.info {
+		if tree.info[i].Class != classNone {
+			frontier = append(frontier, int32(i))
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, fi := range frontier {
+			inNext[fi] = false
+			info := tree.info[fi]
+			fromASN := d.asns[fi]
+			for _, ci := range d.customers[fi] {
+				if !better(int(ci), ClassProvider, info.PathLen+1, fromASN) {
+					continue
+				}
+				if !accept(d.asns[ci], fromASN, prefix, origin) {
+					continue
+				}
+				set(int(ci), ClassProvider, info.PathLen+1, fromASN)
+				if !inNext[ci] {
+					inNext[ci] = true
+					next = append(next, ci)
+				}
+			}
+		}
+		frontier = next
+	}
+	return tree
+}

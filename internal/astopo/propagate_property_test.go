@@ -1,0 +1,179 @@
+package astopo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpki"
+)
+
+// randomHierarchy builds a random three-tier topology with no
+// provider-customer cycles (providers always have lower ASNs).
+func randomHierarchy(r *rand.Rand) *Graph {
+	g := NewGraph()
+	nTop, nMid, nLeaf := 2+r.Intn(3), 4+r.Intn(6), 10+r.Intn(20)
+	var tops, mids, leaves []uint32
+	asn := uint32(1)
+	add := func() uint32 {
+		g.AddAS(asn, "org", "Org", "US", rpki.ARIN)
+		asn++
+		return asn - 1
+	}
+	for i := 0; i < nTop; i++ {
+		tops = append(tops, add())
+	}
+	for i := 0; i < nMid; i++ {
+		mids = append(mids, add())
+	}
+	for i := 0; i < nLeaf; i++ {
+		leaves = append(leaves, add())
+	}
+	for i := 0; i < len(tops); i++ {
+		for j := i + 1; j < len(tops); j++ {
+			if r.Intn(2) == 0 {
+				_ = g.SetPeer(tops[i], tops[j])
+			}
+		}
+	}
+	for _, m := range mids {
+		_ = g.SetProviderCustomer(tops[r.Intn(len(tops))], m)
+		if r.Intn(2) == 0 {
+			_ = g.SetProviderCustomer(tops[r.Intn(len(tops))], m)
+		}
+		if r.Intn(3) == 0 {
+			o := mids[r.Intn(len(mids))]
+			if o != m {
+				_ = g.SetPeer(m, o)
+			}
+		}
+	}
+	for _, l := range leaves {
+		_ = g.SetProviderCustomer(mids[r.Intn(len(mids))], l)
+		if r.Intn(3) == 0 {
+			_ = g.SetProviderCustomer(mids[r.Intn(len(mids))], l)
+		}
+		if r.Intn(4) == 0 {
+			o := leaves[r.Intn(len(leaves))]
+			if o != l {
+				_ = g.SetPeer(l, o)
+			}
+		}
+	}
+	return g
+}
+
+// relOf classifies the edge a→b from a's perspective.
+func relOf(g *Graph, a, b uint32) string {
+	as := g.AS(a)
+	for _, c := range as.Customers {
+		if c == b {
+			return "customer"
+		}
+	}
+	for _, p := range as.Providers {
+		if p == b {
+			return "provider"
+		}
+	}
+	for _, p := range as.Peers {
+		if p == b {
+			return "peer"
+		}
+	}
+	return "none"
+}
+
+// TestPropagatePathsValleyFree checks the Gao–Rexford invariant on random
+// topologies: along any selected path from a vantage point to the origin
+// (read origin→vantage), once the path goes "down" (provider→customer)
+// or "across" (peer), it never goes up or across again.
+func TestPropagatePathsValleyFree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomHierarchy(r)
+		asns := g.ASNs()
+		origin := asns[r.Intn(len(asns))]
+		tree := g.Propagate(netx.MustParsePrefix("10.0.0.0/16"), origin, nil)
+		for _, v := range asns {
+			path := tree.PathFrom(v)
+			if path == nil {
+				continue
+			}
+			if path[len(path)-1] != origin || path[0] != v {
+				return false
+			}
+			// Read origin→vantage; each hop sender→receiver is an export.
+			// Legal sequences: up* across? down* where "up" is
+			// customer→provider export.
+			phase := 0 // 0=up, 1=after peer, 2=down
+			for i := len(path) - 1; i > 0; i-- {
+				from, to := path[i], path[i-1]
+				switch relOf(g, from, to) {
+				case "provider": // from exports to its provider: only while climbing
+					if phase != 0 {
+						return false
+					}
+				case "peer": // one peer hop at the top
+					if phase != 0 {
+						return false
+					}
+					phase = 1
+				case "customer": // descending
+					phase = 2
+				default:
+					return false // path uses a nonexistent edge
+				}
+			}
+			// Paths must not repeat ASes.
+			seen := map[uint32]bool{}
+			for _, a := range path {
+				if seen[a] {
+					return false
+				}
+				seen[a] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropagateFilterMonotone: adding a filter can only shrink the set of
+// ASes that hear a route, never grow it.
+func TestPropagateFilterMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomHierarchy(r)
+		asns := g.ASNs()
+		origin := asns[r.Intn(len(asns))]
+		p := netx.MustParsePrefix("10.0.0.0/16")
+		full := g.Propagate(p, origin, nil)
+		blocked := map[uint32]bool{}
+		for i := 0; i < 3; i++ {
+			blocked[asns[r.Intn(len(asns))]] = true
+		}
+		filter := func(importer, _ uint32, _ netx.Prefix, _ uint32) bool {
+			return !blocked[importer]
+		}
+		filtered := g.Propagate(p, origin, filter)
+		if filtered.Len() > full.Len() {
+			return false
+		}
+		for _, asn := range filtered.Reached() {
+			if !full.Has(asn) {
+				return false
+			}
+			if blocked[asn] && asn != origin {
+				return false // filter must actually block
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

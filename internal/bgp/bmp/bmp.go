@@ -1,0 +1,328 @@
+// Package bmp implements the BGP Monitoring Protocol (RFC 7854), the
+// channel through which production routers stream their per-peer BGP
+// state to monitoring stations — the successor to screen-scraping RIBs
+// that collectors like RouteViews increasingly consume.
+//
+// The subset implemented is the monitoring happy path: Initiation with
+// information TLVs, Peer Up / Peer Down with the per-peer header, Route
+// Monitoring wrapping verbatim BGP UPDATE PDUs, and Termination. A
+// Station (receiver) feeds routes into a bgp.RIB keyed by monitored
+// peer.
+package bmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+)
+
+// Version is the BMP version implemented (RFC 7854).
+const Version = 3
+
+// Message types (RFC 7854 §4).
+const (
+	TypeRouteMonitoring = 0
+	TypeStatsReport     = 1
+	TypePeerDown        = 2
+	TypePeerUp          = 3
+	TypeInitiation      = 4
+	TypeTermination     = 5
+)
+
+// Information TLV types for Initiation/Termination.
+const (
+	TLVString  = 0
+	TLVSysDesc = 1
+	TLVSysName = 2
+)
+
+const (
+	commonHeaderLen = 6
+	perPeerLen      = 42
+	maxMsgLen       = 1 << 20
+)
+
+// PeerHeader is the per-peer header carried by Route Monitoring, Peer Up
+// and Peer Down messages.
+type PeerHeader struct {
+	// Addr is the monitored peer's address (IPv4 or IPv6).
+	Addr netip.Addr
+	// ASN and BGPID identify the peer.
+	ASN   uint32
+	BGPID [4]byte
+	// Timestamp is when the router recorded the event.
+	Timestamp time.Time
+}
+
+func (h *PeerHeader) encode(b []byte) []byte {
+	b = append(b, 0) // peer type: global instance
+	flags := byte(0)
+	if h.Addr.Is6() && !h.Addr.Is4In6() {
+		flags |= 0x80 // V flag: IPv6 peer address
+	}
+	b = append(b, flags)
+	b = append(b, make([]byte, 8)...) // peer distinguisher
+	var addr [16]byte
+	if h.Addr.Is6() && !h.Addr.Is4In6() {
+		addr = h.Addr.As16()
+	} else if h.Addr.IsValid() {
+		a4 := h.Addr.As4()
+		copy(addr[12:], a4[:]) // v4 in the low 4 bytes per RFC 7854
+	}
+	b = append(b, addr[:]...)
+	b = binary.BigEndian.AppendUint32(b, h.ASN)
+	b = append(b, h.BGPID[:]...)
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Timestamp.Unix()))
+	b = binary.BigEndian.AppendUint32(b, uint32(h.Timestamp.Nanosecond()/1000))
+	return b
+}
+
+func decodePeerHeader(b []byte) (PeerHeader, []byte, error) {
+	if len(b) < perPeerLen {
+		return PeerHeader{}, nil, errors.New("bmp: per-peer header truncated")
+	}
+	var h PeerHeader
+	flags := b[1]
+	if flags&0x80 != 0 {
+		h.Addr = netip.AddrFrom16([16]byte(b[10:26]))
+	} else {
+		h.Addr = netip.AddrFrom4([4]byte(b[22:26]))
+	}
+	h.ASN = binary.BigEndian.Uint32(b[26:30])
+	copy(h.BGPID[:], b[30:34])
+	sec := binary.BigEndian.Uint32(b[34:38])
+	usec := binary.BigEndian.Uint32(b[38:42])
+	h.Timestamp = time.Unix(int64(sec), int64(usec)*1000).UTC()
+	return h, b[perPeerLen:], nil
+}
+
+// Message is any BMP message.
+type Message interface {
+	// Type returns the RFC 7854 message type code.
+	Type() byte
+	encodeBody() ([]byte, error)
+}
+
+// Initiation announces the monitored router to the station.
+type Initiation struct {
+	SysName string
+	SysDesc string
+}
+
+// Type implements Message.
+func (*Initiation) Type() byte { return TypeInitiation }
+
+func (m *Initiation) encodeBody() ([]byte, error) {
+	var b []byte
+	b = appendTLV(b, TLVSysName, m.SysName)
+	b = appendTLV(b, TLVSysDesc, m.SysDesc)
+	return b, nil
+}
+
+// Termination ends the monitoring session.
+type Termination struct {
+	Reason string
+}
+
+// Type implements Message.
+func (*Termination) Type() byte { return TypeTermination }
+
+func (m *Termination) encodeBody() ([]byte, error) {
+	return appendTLV(nil, TLVString, m.Reason), nil
+}
+
+// PeerUp reports a monitored BGP session reaching Established.
+type PeerUp struct {
+	Peer PeerHeader
+	// LocalAddr is the router's address on the session.
+	LocalAddr netip.Addr
+}
+
+// Type implements Message.
+func (*PeerUp) Type() byte { return TypePeerUp }
+
+func (m *PeerUp) encodeBody() ([]byte, error) {
+	b := m.Peer.encode(nil)
+	var addr [16]byte
+	if m.LocalAddr.Is6() && !m.LocalAddr.Is4In6() {
+		addr = m.LocalAddr.As16()
+	} else if m.LocalAddr.IsValid() {
+		a4 := m.LocalAddr.As4()
+		copy(addr[12:], a4[:])
+	}
+	b = append(b, addr[:]...)
+	b = binary.BigEndian.AppendUint16(b, 179) // local port
+	b = binary.BigEndian.AppendUint16(b, 179) // remote port
+	// Sent/received OPEN messages (full BGP PDUs).
+	open, err := wire.Encode(wire.NewOpen(m.Peer.ASN, 90, m.Peer.BGPID))
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, open...)
+	b = append(b, open...)
+	return b, nil
+}
+
+// PeerDown reports a monitored session ending.
+type PeerDown struct {
+	Peer PeerHeader
+	// Reason is the RFC 7854 reason code (1 = local notification, 2 =
+	// local no-notification, 3 = remote notification, 4 = remote
+	// no-notification).
+	Reason byte
+}
+
+// Type implements Message.
+func (*PeerDown) Type() byte { return TypePeerDown }
+
+func (m *PeerDown) encodeBody() ([]byte, error) {
+	b := m.Peer.encode(nil)
+	return append(b, m.Reason), nil
+}
+
+// RouteMonitoring carries one BGP UPDATE as seen from the monitored peer.
+type RouteMonitoring struct {
+	Peer   PeerHeader
+	Update *wire.Update
+}
+
+// Type implements Message.
+func (*RouteMonitoring) Type() byte { return TypeRouteMonitoring }
+
+func (m *RouteMonitoring) encodeBody() ([]byte, error) {
+	b := m.Peer.encode(nil)
+	pdu, err := wire.Encode(m.Update)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, pdu...), nil
+}
+
+func appendTLV(b []byte, typ uint16, val string) []byte {
+	b = binary.BigEndian.AppendUint16(b, typ)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(val)))
+	return append(b, val...)
+}
+
+func parseTLVs(b []byte) (map[uint16]string, error) {
+	out := make(map[uint16]string)
+	for len(b) > 0 {
+		if len(b) < 4 {
+			return nil, errors.New("bmp: TLV truncated")
+		}
+		typ := binary.BigEndian.Uint16(b)
+		l := int(binary.BigEndian.Uint16(b[2:]))
+		if len(b) < 4+l {
+			return nil, errors.New("bmp: TLV value truncated")
+		}
+		out[typ] = string(b[4 : 4+l])
+		b = b[4+l:]
+	}
+	return out, nil
+}
+
+// Write encodes msg with the BMP common header and writes it to w.
+func Write(w io.Writer, msg Message) error {
+	body, err := msg.encodeBody()
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, commonHeaderLen)
+	hdr[0] = Version
+	binary.BigEndian.PutUint32(hdr[1:5], uint32(commonHeaderLen+len(body)))
+	hdr[5] = msg.Type()
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// Read parses one BMP message from r.
+func Read(r io.Reader) (Message, error) {
+	var hdr [commonHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("bmp: unsupported version %d", hdr[0])
+	}
+	length := binary.BigEndian.Uint32(hdr[1:5])
+	if length < commonHeaderLen || length > maxMsgLen {
+		return nil, fmt.Errorf("bmp: message length %d out of bounds", length)
+	}
+	body := make([]byte, length-commonHeaderLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("bmp: truncated body: %w", err)
+	}
+	switch hdr[5] {
+	case TypeInitiation:
+		tlvs, err := parseTLVs(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Initiation{SysName: tlvs[TLVSysName], SysDesc: tlvs[TLVSysDesc]}, nil
+	case TypeTermination:
+		tlvs, err := parseTLVs(body)
+		if err != nil {
+			return nil, err
+		}
+		return &Termination{Reason: tlvs[TLVString]}, nil
+	case TypePeerUp:
+		peer, rest, err := decodePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 20 {
+			return nil, errors.New("bmp: peer up truncated")
+		}
+		var local netip.Addr
+		if isZero(rest[:12]) {
+			local = netip.AddrFrom4([4]byte(rest[12:16]))
+		} else {
+			local = netip.AddrFrom16([16]byte(rest[:16]))
+		}
+		return &PeerUp{Peer: peer, LocalAddr: local}, nil
+	case TypePeerDown:
+		peer, rest, err := decodePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 1 {
+			return nil, errors.New("bmp: peer down truncated")
+		}
+		return &PeerDown{Peer: peer, Reason: rest[0]}, nil
+	case TypeRouteMonitoring:
+		peer, rest, err := decodePeerHeader(body)
+		if err != nil {
+			return nil, err
+		}
+		msg, err := wire.Decode(rest)
+		if err != nil {
+			return nil, fmt.Errorf("bmp: embedded BGP PDU: %w", err)
+		}
+		update, ok := msg.(*wire.Update)
+		if !ok {
+			return nil, fmt.Errorf("bmp: route monitoring wraps type %d, want UPDATE", msg.Type())
+		}
+		return &RouteMonitoring{Peer: peer, Update: update}, nil
+	case TypeStatsReport:
+		return nil, errors.New("bmp: stats report not implemented")
+	default:
+		return nil, fmt.Errorf("bmp: unknown message type %d", hdr[5])
+	}
+}
+
+func isZero(b []byte) bool {
+	for _, x := range b {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,210 @@
+package bmp
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+func pfx(s string) netx.Prefix { return netx.MustParsePrefix(s) }
+
+var ts = time.Date(2022, 5, 1, 12, 30, 0, 123000000, time.UTC)
+
+func peerHdr(addr string, asn uint32) PeerHeader {
+	return PeerHeader{
+		Addr:      netip.MustParseAddr(addr),
+		ASN:       asn,
+		BGPID:     [4]byte{1, 2, 3, 4},
+		Timestamp: ts,
+	}
+}
+
+func sampleUpdate() *wire.Update {
+	return &wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64500, 64999}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI:    []netx.Prefix{pfx("10.0.0.0/8")},
+	}
+}
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, msg); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestInitiationTerminationRoundTrip(t *testing.T) {
+	init := roundTrip(t, &Initiation{SysName: "edge-1", SysDesc: "manrsmeter router"}).(*Initiation)
+	if init.SysName != "edge-1" || init.SysDesc != "manrsmeter router" {
+		t.Errorf("initiation = %+v", init)
+	}
+	term := roundTrip(t, &Termination{Reason: "maintenance"}).(*Termination)
+	if term.Reason != "maintenance" {
+		t.Errorf("termination = %+v", term)
+	}
+}
+
+func TestPeerUpDownRoundTrip(t *testing.T) {
+	up := roundTrip(t, &PeerUp{Peer: peerHdr("192.0.2.7", 64500), LocalAddr: netip.MustParseAddr("192.0.2.1")}).(*PeerUp)
+	if up.Peer.ASN != 64500 || up.Peer.Addr != netip.MustParseAddr("192.0.2.7") {
+		t.Errorf("peer up = %+v", up.Peer)
+	}
+	if up.LocalAddr != netip.MustParseAddr("192.0.2.1") {
+		t.Errorf("local addr = %v", up.LocalAddr)
+	}
+	if !up.Peer.Timestamp.Equal(ts.Truncate(time.Microsecond)) {
+		t.Errorf("timestamp = %v", up.Peer.Timestamp)
+	}
+
+	down := roundTrip(t, &PeerDown{Peer: peerHdr("192.0.2.7", 64500), Reason: 3}).(*PeerDown)
+	if down.Reason != 3 || down.Peer.ASN != 64500 {
+		t.Errorf("peer down = %+v", down)
+	}
+}
+
+func TestPeerUpIPv6(t *testing.T) {
+	up := roundTrip(t, &PeerUp{Peer: peerHdr("2001:db8::7", 4200000001), LocalAddr: netip.MustParseAddr("2001:db8::1")}).(*PeerUp)
+	if up.Peer.Addr != netip.MustParseAddr("2001:db8::7") || up.Peer.ASN != 4200000001 {
+		t.Errorf("v6 peer = %+v", up.Peer)
+	}
+	if up.LocalAddr != netip.MustParseAddr("2001:db8::1") {
+		t.Errorf("v6 local = %v", up.LocalAddr)
+	}
+}
+
+func TestRouteMonitoringRoundTrip(t *testing.T) {
+	rm := roundTrip(t, &RouteMonitoring{Peer: peerHdr("192.0.2.7", 64500), Update: sampleUpdate()}).(*RouteMonitoring)
+	if !reflect.DeepEqual(rm.Update, sampleUpdate()) {
+		t.Errorf("embedded update = %+v", rm.Update)
+	}
+	if rm.Peer.ASN != 64500 {
+		t.Errorf("peer = %+v", rm.Peer)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	// Wrong version.
+	bad := []byte{9, 0, 0, 0, 6, TypeInitiation}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong version should fail")
+	}
+	// Absurd length.
+	bad = []byte{Version, 0xFF, 0xFF, 0xFF, 0xFF, TypeInitiation}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("oversized length should fail")
+	}
+	// Unknown type.
+	bad = []byte{Version, 0, 0, 0, 6, 99}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("unknown type should fail")
+	}
+	// Route monitoring wrapping a non-UPDATE PDU.
+	var buf bytes.Buffer
+	hdr := peerHdr("192.0.2.7", 1)
+	body := hdr.encode(nil)
+	keepalive, _ := wire.Encode(&wire.Keepalive{})
+	body = append(body, keepalive...)
+	frame := []byte{Version, 0, 0, 0, 0, TypeRouteMonitoring}
+	frame = append(frame, body...)
+	frame[1] = byte(len(frame) >> 24)
+	frame[2] = byte(len(frame) >> 16)
+	frame[3] = byte(len(frame) >> 8)
+	frame[4] = byte(len(frame))
+	buf.Write(frame)
+	if _, err := Read(&buf); err == nil {
+		t.Error("non-UPDATE payload should fail")
+	}
+}
+
+func TestReadNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(128)
+		raw := make([]byte, commonHeaderLen+n)
+		r.Read(raw)
+		raw[0] = Version
+		raw[1], raw[2] = 0, 0
+		raw[3] = byte((commonHeaderLen + n) >> 8)
+		raw[4] = byte(commonHeaderLen + n)
+		raw[5] = byte(r.Intn(7))
+		_, _ = Read(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationEndToEnd(t *testing.T) {
+	st := NewStation()
+	addr, err := st.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	send := func(m Message) {
+		t.Helper()
+		if err := Write(conn, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(&Initiation{SysName: "edge-1", SysDesc: "test router"})
+	send(&PeerUp{Peer: peerHdr("192.0.2.7", 64500), LocalAddr: netip.MustParseAddr("192.0.2.1")})
+	send(&RouteMonitoring{Peer: peerHdr("192.0.2.7", 64500), Update: sampleUpdate()})
+
+	waitFor(t, func() bool { return st.RIB().Len() == 1 && st.PeersUp() == 1 })
+	routes := st.RIB().Lookup(pfx("10.0.0.0/8"))
+	if len(routes) != 1 || routes[0].Origin != 64999 || routes[0].PeerASN != 64500 {
+		t.Fatalf("routes = %+v", routes)
+	}
+	names := st.Routers()
+	if len(names) != 1 || names[0] != "edge-1" {
+		t.Errorf("routers = %v", names)
+	}
+
+	// Withdraw via route monitoring, then peer down.
+	send(&RouteMonitoring{Peer: peerHdr("192.0.2.7", 64500), Update: &wire.Update{Withdrawn: []netx.Prefix{pfx("10.0.0.0/8")}}})
+	waitFor(t, func() bool { return st.RIB().Len() == 0 })
+	send(&PeerDown{Peer: peerHdr("192.0.2.7", 64500), Reason: 2})
+	waitFor(t, func() bool { return st.PeersUp() == 0 })
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

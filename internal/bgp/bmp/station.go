@@ -1,0 +1,118 @@
+package bmp
+
+import (
+	"bufio"
+	"net"
+	"net/netip"
+	"sync"
+
+	"manrsmeter/internal/bgp"
+)
+
+// Station is a BMP monitoring station: it accepts connections from
+// monitored routers and folds their Route Monitoring streams into one
+// RIB, attributed to the monitored peers' ASNs.
+type Station struct {
+	rib *bgp.RIB
+
+	mu      sync.Mutex
+	routers map[string]string // sysName → sysDesc of connected routers
+	peersUp map[netip.Addr]uint32
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// NewStation returns an empty station.
+func NewStation() *Station {
+	return &Station{
+		rib:     bgp.NewRIB(),
+		routers: make(map[string]string),
+		peersUp: make(map[netip.Addr]uint32),
+	}
+}
+
+// RIB exposes the accumulated routes.
+func (s *Station) RIB() *bgp.RIB { return s.rib }
+
+// Routers returns the sysNames of routers that sent Initiation.
+func (s *Station) Routers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.routers))
+	for name := range s.routers {
+		out = append(out, name)
+	}
+	return out
+}
+
+// PeersUp returns the number of monitored peers currently up.
+func (s *Station) PeersUp() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.peersUp)
+}
+
+// Listen starts accepting BMP connections on addr.
+func (s *Station) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the station.
+func (s *Station) Close() error {
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Station) serve(conn net.Conn) {
+	br := bufio.NewReader(conn)
+	for {
+		msg, err := Read(br)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *Initiation:
+			s.mu.Lock()
+			s.routers[m.SysName] = m.SysDesc
+			s.mu.Unlock()
+		case *PeerUp:
+			s.mu.Lock()
+			s.peersUp[m.Peer.Addr] = m.Peer.ASN
+			s.mu.Unlock()
+		case *PeerDown:
+			s.mu.Lock()
+			delete(s.peersUp, m.Peer.Addr)
+			s.mu.Unlock()
+		case *RouteMonitoring:
+			s.rib.Apply(m.Peer.ASN, m.Update)
+		case *Termination:
+			return
+		}
+	}
+}

@@ -1,0 +1,172 @@
+// Package collector implements a RouteViews-style BGP route collector: it
+// accepts BGP-4 peerings, absorbs UPDATE streams into a multi-peer RIB,
+// and exports MRT TABLE_DUMP_V2 snapshots — the artifact the measurement
+// pipeline (and the real study) consumes.
+package collector
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"manrsmeter/internal/bgp"
+	"manrsmeter/internal/bgp/mrt"
+	"manrsmeter/internal/netx"
+)
+
+// Collector accepts peerings and accumulates routes. Create with New.
+type Collector struct {
+	cfg bgp.Config
+
+	mu    sync.Mutex
+	peers map[uint32]netip.Addr // peer ASN → peer address
+	rib   *bgp.RIB
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// New returns a collector identifying as asn.
+func New(asn uint32, bgpID [4]byte) *Collector {
+	return &Collector{
+		cfg:    bgp.Config{ASN: asn, BGPID: bgpID},
+		peers:  make(map[uint32]netip.Addr),
+		rib:    bgp.NewRIB(),
+		closed: make(chan struct{}),
+	}
+}
+
+// RIB exposes the live RIB (safe for concurrent reads).
+func (c *Collector) RIB() *bgp.RIB { return c.rib }
+
+// NumPeers returns the number of peers that completed the handshake.
+func (c *Collector) NumPeers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
+
+// Listen starts accepting peers on addr and returns the bound address.
+func (c *Collector) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.ln = ln
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.servePeer(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (c *Collector) servePeer(conn net.Conn) {
+	sess, err := bgp.Establish(conn, c.cfg, 10*time.Second)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	defer sess.Close()
+
+	peerAddr := netip.AddrFrom4([4]byte{127, 0, 0, 1})
+	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+		if a, ok := netip.AddrFromSlice(tcp.IP); ok {
+			peerAddr = a.Unmap()
+		}
+	}
+	c.mu.Lock()
+	c.peers[sess.PeerASN()] = peerAddr
+	c.mu.Unlock()
+
+	for {
+		update, err := sess.Recv()
+		if err != nil {
+			return // peer closed or errored; routes learned so far stay
+		}
+		c.rib.Apply(sess.PeerASN(), update)
+	}
+}
+
+// Close stops accepting and terminates peer sessions.
+func (c *Collector) Close() error {
+	close(c.closed)
+	var err error
+	if c.ln != nil {
+		err = c.ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// DumpMRT writes the current RIB as a TABLE_DUMP_V2 snapshot stamped ts.
+func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.Time) error {
+	c.mu.Lock()
+	peerASNs := make([]uint32, 0, len(c.peers))
+	for asn := range c.peers {
+		peerASNs = append(peerASNs, asn)
+	}
+	sort.Slice(peerASNs, func(i, j int) bool { return peerASNs[i] < peerASNs[j] })
+	peers := make([]mrt.Peer, len(peerASNs))
+	peerIdx := make(map[uint32]uint16, len(peerASNs))
+	for i, asn := range peerASNs {
+		peers[i] = mrt.Peer{
+			BGPID: [4]byte{byte(asn >> 24), byte(asn >> 16), byte(asn >> 8), byte(asn)},
+			Addr:  c.peers[asn],
+			ASN:   asn,
+		}
+		peerIdx[asn] = uint16(i)
+	}
+	c.mu.Unlock()
+
+	// Group RIB routes by prefix.
+	byPrefix := make(map[netx.Prefix][]bgp.Route)
+	var order []netx.Prefix
+	c.rib.Walk(func(r bgp.Route) bool {
+		if _, ok := byPrefix[r.Prefix]; !ok {
+			order = append(order, r.Prefix)
+		}
+		byPrefix[r.Prefix] = append(byPrefix[r.Prefix], r)
+		return true
+	})
+	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
+
+	mw := mrt.NewWriter(w, ts)
+	if err := mw.WritePeerIndexTable(c.cfg.BGPID, "collector-rib", peers); err != nil {
+		return err
+	}
+	for _, prefix := range order {
+		routes := byPrefix[prefix]
+		sort.Slice(routes, func(i, j int) bool { return routes[i].PeerASN < routes[j].PeerASN })
+		entries := make([]mrt.RIBEntry, 0, len(routes))
+		for _, r := range routes {
+			idx, ok := peerIdx[r.PeerASN]
+			if !ok {
+				return fmt.Errorf("collector: route from unknown peer AS%d", r.PeerASN)
+			}
+			entries = append(entries, mrt.RIBEntry{
+				PeerIndex:      idx,
+				OriginatedTime: ts,
+				Path:           r.Path,
+			})
+		}
+		if err := mw.WriteRIB(prefix, entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/netx"
+)
+
+func pfx(s string) netx.Prefix { return netx.MustParsePrefix(s) }
+
+var ts = time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+
+func samplePeers() []Peer {
+	return []Peer{
+		{BGPID: [4]byte{1, 1, 1, 1}, Addr: netip.MustParseAddr("192.0.2.1"), ASN: 64500},
+		{BGPID: [4]byte{2, 2, 2, 2}, Addr: netip.MustParseAddr("2001:db8::2"), ASN: 4200000001},
+	}
+}
+
+func writeSample(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	if err := w.WritePeerIndexTable([4]byte{9, 9, 9, 9}, "rib-view", samplePeers()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{
+		{PeerIndex: 0, OriginatedTime: ts, Path: []uint32{64500, 65010, 65020}},
+		{PeerIndex: 1, OriginatedTime: ts, Path: []uint32{4200000001, 65020}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("2001:db8::/32"), []RIBEntry{
+		{PeerIndex: 1, OriginatedTime: ts, Path: []uint32{4200000001, 65030}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestRoundTrip(t *testing.T) {
+	buf := writeSample(t)
+	d, err := NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CollectorID != [4]byte{9, 9, 9, 9} || d.ViewName != "rib-view" {
+		t.Errorf("header = %v %q", d.CollectorID, d.ViewName)
+	}
+	if !d.Timestamp.Equal(ts) {
+		t.Errorf("timestamp = %v", d.Timestamp)
+	}
+	if !reflect.DeepEqual(d.Peers, samplePeers()) {
+		t.Errorf("peers = %+v", d.Peers)
+	}
+	if len(d.Records) != 2 {
+		t.Fatalf("records = %d", len(d.Records))
+	}
+	r0 := d.Records[0]
+	if r0.Prefix != pfx("10.0.0.0/8") || r0.Sequence != 0 {
+		t.Errorf("record 0 = %+v", r0)
+	}
+	if len(r0.Entries) != 2 {
+		t.Fatalf("record 0 entries = %d", len(r0.Entries))
+	}
+	if !reflect.DeepEqual(r0.Entries[0].Path, []uint32{64500, 65010, 65020}) {
+		t.Errorf("entry path = %v", r0.Entries[0].Path)
+	}
+	if !r0.Entries[0].OriginatedTime.Equal(ts) {
+		t.Errorf("originated = %v", r0.Entries[0].OriginatedTime)
+	}
+	r1 := d.Records[1]
+	if r1.Prefix != pfx("2001:db8::/32") || r1.Sequence != 1 {
+		t.Errorf("record 1 = %+v", r1)
+	}
+	if !reflect.DeepEqual(r1.Entries[0].Path, []uint32{4200000001, 65030}) {
+		t.Errorf("v6 path = %v", r1.Entries[0].Path)
+	}
+}
+
+func TestWriterOrderEnforced(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), nil); err == nil {
+		t.Error("RIB before peer table should fail")
+	}
+	if err := w.WritePeerIndexTable([4]byte{1, 2, 3, 4}, "v", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePeerIndexTable([4]byte{1, 2, 3, 4}, "v", nil); err == nil {
+		t.Error("second peer table should fail")
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	// Empty stream.
+	if _, err := NewReader(strings.NewReader("")).ReadAll(); err == nil {
+		t.Error("empty stream should fail")
+	}
+	// Stream not starting with peer index table.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	w.wrote = true // bypass ordering check
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf).ReadAll(); err == nil {
+		t.Error("missing peer table should fail")
+	}
+	// Truncated body.
+	full := writeSample(t).Bytes()
+	if _, err := NewReader(bytes.NewReader(full[:len(full)-5])).ReadAll(); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Bad record type.
+	bad := bytes.Clone(full)
+	bad[5] = 99 // type field low byte
+	if _, err := NewReader(bytes.NewReader(bad)).ReadAll(); err == nil {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestPeerIndexOutOfRange(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	if err := w.WritePeerIndexTable([4]byte{1, 1, 1, 1}, "v", samplePeers()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("10.0.0.0/8"), []RIBEntry{
+		{PeerIndex: 7, OriginatedTime: ts, Path: []uint32{1}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReader(&buf).ReadAll(); err == nil {
+		t.Error("out-of-range peer index should fail")
+	}
+}
+
+func TestEmptyView(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	if err := w.WritePeerIndexTable([4]byte{0, 0, 0, 0}, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Peers) != 0 || len(d.Records) != 0 || d.ViewName != "" {
+		t.Errorf("dump = %+v", d)
+	}
+}
+
+func TestDefaultRouteRecord(t *testing.T) {
+	// A /0 prefix has zero prefix bytes on the wire.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, ts)
+	if err := w.WritePeerIndexTable([4]byte{1, 1, 1, 1}, "v", samplePeers()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRIB(pfx("0.0.0.0/0"), []RIBEntry{
+		{PeerIndex: 0, OriginatedTime: ts, Path: []uint32{64500}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records[0].Prefix != pfx("0.0.0.0/0") {
+		t.Errorf("prefix = %v", d.Records[0].Prefix)
+	}
+}

@@ -1,0 +1,357 @@
+// Package bgp provides a minimal BGP-4 speaker on top of internal/bgp/wire:
+// enough of the RFC 4271 session machinery to establish a peering over a
+// net.Conn, exchange UPDATE messages, and maintain a RIB. The measurement
+// pipeline uses it to emulate a route collector (RouteViews/RIS style)
+// peering with simulated networks; it is not a full routing daemon.
+package bgp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+// State is the subset of the RFC 4271 §8 FSM states a connected session
+// traverses.
+type State int32
+
+// Session states, in order of progression.
+const (
+	StateIdle State = iota
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+// String returns the RFC 4271 state name.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Config configures one side of a session.
+type Config struct {
+	// ASN is the local 4-octet AS number.
+	ASN uint32
+	// BGPID is the local BGP identifier.
+	BGPID [4]byte
+	// HoldTime is advertised in OPEN; zero means 90 seconds.
+	HoldTime time.Duration
+}
+
+// Session is an established (or establishing) BGP session over a conn.
+// Create with Establish; the caller owns conn's lifetime beyond Close.
+type Session struct {
+	conn   net.Conn
+	config Config
+
+	mu      sync.Mutex
+	state   State
+	peerASN uint32
+	peerID  [4]byte
+	closed  bool
+	lastErr error
+}
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("bgp: session closed")
+
+// Establish runs the OPEN/KEEPALIVE handshake on conn and returns an
+// Established session. Both sides call Establish; the exchange is
+// symmetric. The handshake is bounded by timeout (zero means 10s).
+func Establish(conn net.Conn, cfg Config, timeout time.Duration) (*Session, error) {
+	if timeout == 0 {
+		timeout = 10 * time.Second
+	}
+	hold := uint16(90)
+	if cfg.HoldTime > 0 {
+		hold = uint16(cfg.HoldTime / time.Second)
+	}
+	s := &Session{conn: conn, config: cfg, state: StateIdle}
+
+	deadline := time.Now().Add(timeout)
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("bgp: set handshake deadline: %w", err)
+	}
+
+	// Writes run on their own goroutine so the symmetric handshake also
+	// works over unbuffered transports (net.Pipe): both ends send their
+	// OPEN while concurrently reading the peer's.
+	openValidated := make(chan struct{})
+	writeDone := make(chan error, 1)
+	go func() {
+		if err := wire.WriteMessage(conn, wire.NewOpen(cfg.ASN, hold, cfg.BGPID)); err != nil {
+			writeDone <- fmt.Errorf("bgp: send OPEN: %w", err)
+			return
+		}
+		select {
+		case <-openValidated:
+		case <-time.After(timeout):
+			writeDone <- fmt.Errorf("bgp: handshake timeout awaiting OPEN validation")
+			return
+		}
+		if err := wire.WriteMessage(conn, &wire.Keepalive{}); err != nil {
+			writeDone <- fmt.Errorf("bgp: send KEEPALIVE: %w", err)
+			return
+		}
+		writeDone <- nil
+	}()
+	s.state = StateOpenSent
+
+	msg, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: read OPEN: %w", err)
+	}
+	open, ok := msg.(*wire.Open)
+	if !ok {
+		return nil, fmt.Errorf("bgp: expected OPEN, got type %d", msg.Type())
+	}
+	if open.Version != 4 {
+		_ = wire.WriteMessage(conn, &wire.Notification{Code: 2, Subcode: 1}) // unsupported version
+		return nil, fmt.Errorf("bgp: peer version %d unsupported", open.Version)
+	}
+	s.peerASN = open.FourOctetAS()
+	s.peerID = open.BGPID
+	close(openValidated)
+	s.state = StateOpenConfirm
+
+	msg, err = wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("bgp: read KEEPALIVE: %w", err)
+	}
+	if err := <-writeDone; err != nil {
+		return nil, err
+	}
+	if _, ok := msg.(*wire.Keepalive); !ok {
+		if n, isNotif := msg.(*wire.Notification); isNotif {
+			return nil, n
+		}
+		return nil, fmt.Errorf("bgp: expected KEEPALIVE, got type %d", msg.Type())
+	}
+	s.state = StateEstablished
+
+	// Clear the handshake deadline; callers manage I/O pacing afterwards.
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, fmt.Errorf("bgp: clear deadline: %w", err)
+	}
+	return s, nil
+}
+
+// State returns the session state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// PeerASN returns the peer's 4-octet ASN (valid once established).
+func (s *Session) PeerASN() uint32 { return s.peerASN }
+
+// PeerID returns the peer's BGP identifier.
+func (s *Session) PeerID() [4]byte { return s.peerID }
+
+// SendUpdate transmits an UPDATE message.
+func (s *Session) SendUpdate(u *wire.Update) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.mu.Unlock()
+	return wire.WriteMessage(s.conn, u)
+}
+
+// SendKeepalive transmits a KEEPALIVE.
+func (s *Session) SendKeepalive() error {
+	return wire.WriteMessage(s.conn, &wire.Keepalive{})
+}
+
+// Recv blocks for the next UPDATE, transparently absorbing keepalives.
+// It returns the peer's notification as an error if one arrives, and
+// io.EOF-wrapping errors when the transport closes.
+func (s *Session) Recv() (*wire.Update, error) {
+	for {
+		msg, err := wire.ReadMessage(s.conn)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *wire.Update:
+			return m, nil
+		case *wire.Keepalive:
+			continue
+		case *wire.Notification:
+			s.mu.Lock()
+			s.state = StateClosed
+			s.mu.Unlock()
+			return nil, m
+		default:
+			return nil, fmt.Errorf("bgp: unexpected message type %d in established state", msg.Type())
+		}
+	}
+}
+
+// Close sends a Cease notification (best effort) and closes the conn.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.state = StateClosed
+	s.mu.Unlock()
+	// Best-effort Cease; bound the write so a peer that stopped reading
+	// cannot block Close.
+	_ = s.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: 6}) // Cease
+	return s.conn.Close()
+}
+
+// Route is one RIB entry: a prefix with the path information needed by
+// the measurement pipeline.
+type Route struct {
+	Prefix  netx.Prefix
+	Path    []uint32
+	Origin  uint32 // origin AS (last ASN of the path)
+	PeerASN uint32 // the peer this route was learned from
+}
+
+// RIB is an Adj-RIB-In: the routes received from peers, keyed by prefix;
+// multiple peers may contribute routes for the same prefix. RIB is safe
+// for concurrent use.
+type RIB struct {
+	mu     sync.RWMutex
+	routes map[netx.Prefix][]Route
+	n      int
+}
+
+// NewRIB returns an empty RIB.
+func NewRIB() *RIB {
+	return &RIB{routes: make(map[netx.Prefix][]Route)}
+}
+
+// Apply ingests an UPDATE from peerASN: withdrawals remove that peer's
+// routes for the withdrawn prefixes, announcements replace them.
+func (r *RIB) Apply(peerASN uint32, u *wire.Update) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range u.Withdrawn {
+		r.removeLocked(peerASN, p)
+	}
+	for _, p := range u.MPUnreach {
+		r.removeLocked(peerASN, p)
+	}
+	path := u.PathASNs()
+	origin, _ := u.OriginAS()
+	add := func(p netx.Prefix) {
+		r.removeLocked(peerASN, p)
+		r.routes[p] = append(r.routes[p], Route{
+			Prefix:  p,
+			Path:    append([]uint32(nil), path...),
+			Origin:  origin,
+			PeerASN: peerASN,
+		})
+		r.n++
+	}
+	for _, p := range u.NLRI {
+		add(p)
+	}
+	for _, p := range u.MPReach {
+		add(p)
+	}
+}
+
+func (r *RIB) removeLocked(peerASN uint32, p netx.Prefix) {
+	rs := r.routes[p]
+	for i := 0; i < len(rs); {
+		if rs[i].PeerASN == peerASN {
+			rs = append(rs[:i], rs[i+1:]...)
+			r.n--
+		} else {
+			i++
+		}
+	}
+	if len(rs) == 0 {
+		delete(r.routes, p)
+	} else {
+		r.routes[p] = rs
+	}
+}
+
+// Lookup returns the routes held for exactly prefix p.
+func (r *RIB) Lookup(p netx.Prefix) []Route {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Route(nil), r.routes[p]...)
+}
+
+// Len returns the total number of routes.
+func (r *RIB) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.n
+}
+
+// Walk visits every route. The callback must not mutate the RIB.
+func (r *RIB) Walk(fn func(Route) bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, rs := range r.routes {
+		for _, rt := range rs {
+			if !fn(rt) {
+				return
+			}
+		}
+	}
+}
+
+// StartKeepalives launches a goroutine sending KEEPALIVE every interval
+// (RFC 4271 recommends one third of the hold time). The returned stop
+// function terminates the pump; it is also safe to call after Close.
+func (s *Session) StartKeepalives(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 30 * time.Second
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return func() {}
+	}
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := s.SendKeepalive(); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -1,0 +1,382 @@
+package bgp
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+func pfx(s string) netx.Prefix { return netx.MustParsePrefix(s) }
+
+// establishPair runs the symmetric handshake over an in-memory pipe.
+func establishPair(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(c2, Config{ASN: 64501, BGPID: [4]byte{2, 2, 2, 2}}, 5*time.Second)
+		ch <- res{s, err}
+	}()
+	a, err := Establish(c1, Config{ASN: 4200000001, BGPID: [4]byte{1, 1, 1, 1}}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("Establish A: %v", err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("Establish B: %v", r.err)
+	}
+	t.Cleanup(func() { a.Close(); r.s.Close() })
+	return a, r.s
+}
+
+func TestEstablishHandshake(t *testing.T) {
+	a, b := establishPair(t)
+	if a.State() != StateEstablished || b.State() != StateEstablished {
+		t.Fatalf("states = %v / %v", a.State(), b.State())
+	}
+	if a.PeerASN() != 64501 {
+		t.Errorf("A sees peer ASN %d", a.PeerASN())
+	}
+	if b.PeerASN() != 4200000001 {
+		t.Errorf("B sees peer ASN %d (4-octet cap must carry the real ASN)", b.PeerASN())
+	}
+	if a.PeerID() != [4]byte{2, 2, 2, 2} {
+		t.Errorf("A sees peer ID %v", a.PeerID())
+	}
+}
+
+func TestUpdateExchangeAndRIB(t *testing.T) {
+	a, b := establishPair(t)
+	rib := NewRIB()
+
+	u := &wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{4200000001, 64999}}},
+		NextHop: mustAddr("192.0.2.1"),
+		NLRI:    []netx.Prefix{pfx("198.51.100.0/24"), pfx("203.0.113.0/24")},
+	}
+	done := make(chan error, 1)
+	go func() { done <- a.SendUpdate(u) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("SendUpdate: %v", err)
+	}
+	rib.Apply(b.PeerASN(), got)
+	if rib.Len() != 2 {
+		t.Fatalf("RIB len = %d", rib.Len())
+	}
+	rs := rib.Lookup(pfx("198.51.100.0/24"))
+	if len(rs) != 1 || rs[0].Origin != 64999 || rs[0].PeerASN != 4200000001 {
+		t.Errorf("route = %+v", rs)
+	}
+
+	// Withdraw one prefix.
+	w := &wire.Update{Withdrawn: []netx.Prefix{pfx("198.51.100.0/24")}}
+	go func() { done <- a.SendUpdate(w) }()
+	got, err = b.Recv()
+	if err != nil {
+		t.Fatalf("Recv withdraw: %v", err)
+	}
+	<-done
+	rib.Apply(b.PeerASN(), got)
+	if rib.Len() != 1 {
+		t.Errorf("RIB len after withdraw = %d", rib.Len())
+	}
+	if rs := rib.Lookup(pfx("198.51.100.0/24")); len(rs) != 0 {
+		t.Errorf("withdrawn route still present: %v", rs)
+	}
+}
+
+func TestRecvAbsorbsKeepalives(t *testing.T) {
+	a, b := establishPair(t)
+	done := make(chan error, 2)
+	go func() {
+		done <- a.SendKeepalive()
+		done <- a.SendUpdate(&wire.Update{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{1}}},
+			NextHop: mustAddr("192.0.2.1"),
+			NLRI:    []netx.Prefix{pfx("10.0.0.0/8")},
+		})
+	}()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	if len(got.NLRI) != 1 {
+		t.Errorf("update = %+v", got)
+	}
+	<-done
+	<-done
+}
+
+func TestCloseDeliversNotification(t *testing.T) {
+	a, b := establishPair(t)
+	go a.Close()
+	_, err := b.Recv()
+	var notif *wire.Notification
+	if !errors.As(err, &notif) {
+		t.Fatalf("Recv after close = %v, want notification", err)
+	}
+	if notif.Code != 6 {
+		t.Errorf("notification code = %d, want 6 (Cease)", notif.Code)
+	}
+	if b.State() != StateClosed {
+		t.Errorf("receiver state = %v", b.State())
+	}
+	// SendUpdate on closed session fails.
+	if err := a.SendUpdate(&wire.Update{}); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("send on closed = %v", err)
+	}
+	// Double close is a no-op.
+	if err := a.Close(); err != nil {
+		t.Errorf("second Close = %v", err)
+	}
+}
+
+func TestEstablishOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		s, err := Establish(conn, Config{ASN: 65000, BGPID: [4]byte{9, 9, 9, 9}}, 5*time.Second)
+		ch <- res{s, err}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Establish(conn, Config{ASN: 65001, BGPID: [4]byte{8, 8, 8, 8}, HoldTime: 30 * time.Second}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("client establish: %v", err)
+	}
+	defer client.Close()
+	r := <-ch
+	if r.err != nil {
+		t.Fatalf("server establish: %v", r.err)
+	}
+	defer r.s.Close()
+	if client.PeerASN() != 65000 || r.s.PeerASN() != 65001 {
+		t.Errorf("peer ASNs = %d / %d", client.PeerASN(), r.s.PeerASN())
+	}
+}
+
+func TestRIBMultiPeer(t *testing.T) {
+	rib := NewRIB()
+	u := &wire.Update{
+		ASPath: []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{100, 300}}},
+		NLRI:   []netx.Prefix{pfx("10.0.0.0/8")},
+	}
+	rib.Apply(100, u)
+	u2 := &wire.Update{
+		ASPath: []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{200, 300}}},
+		NLRI:   []netx.Prefix{pfx("10.0.0.0/8")},
+	}
+	rib.Apply(200, u2)
+	if got := len(rib.Lookup(pfx("10.0.0.0/8"))); got != 2 {
+		t.Fatalf("routes from two peers = %d", got)
+	}
+	// Re-announcement from peer 100 replaces, not duplicates.
+	rib.Apply(100, u)
+	if got := len(rib.Lookup(pfx("10.0.0.0/8"))); got != 2 {
+		t.Fatalf("after re-announce = %d", got)
+	}
+	// Withdraw from one peer leaves the other's route.
+	rib.Apply(100, &wire.Update{Withdrawn: []netx.Prefix{pfx("10.0.0.0/8")}})
+	rs := rib.Lookup(pfx("10.0.0.0/8"))
+	if len(rs) != 1 || rs[0].PeerASN != 200 {
+		t.Fatalf("after peer-100 withdraw: %v", rs)
+	}
+	n := 0
+	rib.Walk(func(Route) bool { n++; return true })
+	if n != rib.Len() {
+		t.Errorf("walk count %d != len %d", n, rib.Len())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{
+		StateIdle: "Idle", StateOpenSent: "OpenSent", StateOpenConfirm: "OpenConfirm",
+		StateEstablished: "Established", StateClosed: "Closed", State(42): "State(42)",
+	}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), str)
+		}
+	}
+}
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestStartKeepalives(t *testing.T) {
+	a, b := establishPair(t)
+	stop := a.StartKeepalives(20 * time.Millisecond)
+	defer stop()
+
+	// The peer sees periodic keepalives; Recv absorbs them until an
+	// update arrives.
+	errCh := make(chan error, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond) // let several keepalives flow
+		errCh <- a.SendUpdate(&wire.Update{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{1}}},
+			NextHop: mustAddr("192.0.2.1"),
+			NLRI:    []netx.Prefix{pfx("10.0.0.0/8")},
+		})
+	}()
+	u, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.NLRI) != 1 {
+		t.Errorf("update = %+v", u)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // idempotent
+	// Keepalives on a closed session stop silently.
+	a.Close()
+	stop2 := a.StartKeepalives(5 * time.Millisecond)
+	defer stop2()
+	time.Sleep(20 * time.Millisecond)
+}
+
+func TestEstablishRejectsBadVersion(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	// A raw peer that sends a version-3 OPEN.
+	go func() {
+		open := wire.NewOpen(64500, 90, [4]byte{9, 9, 9, 9})
+		open.Version = 3
+		_ = wire.WriteMessage(c2, open)
+		// Drain our OPEN so the pipe does not block.
+		_, _ = wire.ReadMessage(c2)
+		_, _ = wire.ReadMessage(c2) // maybe the notification
+	}()
+	_, err := Establish(c1, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}}, 2*time.Second)
+	if err == nil {
+		t.Fatal("version 3 peer should be rejected")
+	}
+}
+
+func TestEstablishRejectsNonOpenFirst(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_ = wire.WriteMessage(c2, &wire.Keepalive{})
+		_, _ = wire.ReadMessage(c2)
+	}()
+	_, err := Establish(c1, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}}, 2*time.Second)
+	if err == nil {
+		t.Fatal("keepalive-first peer should be rejected")
+	}
+}
+
+func TestEstablishNotificationInsteadOfKeepalive(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		// Play a well-behaved OPEN, then refuse with a notification.
+		_, _ = wire.ReadMessage(c2) // their OPEN
+		_ = wire.WriteMessage(c2, wire.NewOpen(64500, 90, [4]byte{9, 9, 9, 9}))
+		_, _ = wire.ReadMessage(c2) // their keepalive
+		_ = wire.WriteMessage(c2, &wire.Notification{Code: 6, Subcode: 7})
+	}()
+	_, err := Establish(c1, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}}, 2*time.Second)
+	var notif *wire.Notification
+	if !errors.As(err, &notif) || notif.Subcode != 7 {
+		t.Fatalf("err = %v, want the peer's notification", err)
+	}
+}
+
+func TestEstablishTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(2 * time.Second) // silent peer
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	_, err = Establish(conn, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}}, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("silent peer should time out")
+	}
+	if time.Since(start) > 1500*time.Millisecond {
+		t.Errorf("timeout took %v", time.Since(start))
+	}
+}
+
+func TestRIBMPReachApply(t *testing.T) {
+	rib := NewRIB()
+	u := &wire.Update{
+		ASPath:    []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{100, 200}}},
+		MPNextHop: netip.MustParseAddr("2001:db8::1"),
+		MPReach:   []netx.Prefix{pfx("2001:db8:1::/48")},
+	}
+	rib.Apply(100, u)
+	rs := rib.Lookup(pfx("2001:db8:1::/48"))
+	if len(rs) != 1 || rs[0].Origin != 200 {
+		t.Fatalf("v6 route = %+v", rs)
+	}
+	rib.Apply(100, &wire.Update{MPUnreach: []netx.Prefix{pfx("2001:db8:1::/48")}})
+	if rib.Len() != 0 {
+		t.Errorf("v6 withdraw failed, len=%d", rib.Len())
+	}
+}
+
+func TestRIBWalkEarlyStop(t *testing.T) {
+	rib := NewRIB()
+	for i := 0; i < 5; i++ {
+		rib.Apply(uint32(100+i), &wire.Update{
+			ASPath: []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{uint32(100 + i)}}},
+			NLRI:   []netx.Prefix{pfx("10.0.0.0/8")},
+		})
+	}
+	n := 0
+	rib.Walk(func(Route) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stopped walk visited %d", n)
+	}
+}

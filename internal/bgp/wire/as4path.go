@@ -1,0 +1,276 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// AttrAS4Path is the AS4_PATH attribute (RFC 6793 §3): the 4-octet path
+// a NEW speaker supplies when talking to an OLD (2-octet) speaker.
+const AttrAS4Path = 17
+
+// EncodeLegacyASPath renders the update's AS path the way a 4-octet
+// speaker addresses a 2-octet-only peer (RFC 6793 §4.2.2): the AS_PATH
+// carries 2-octet ASNs with AS_TRANS substituted for the unmappable
+// ones, and — when any substitution happened — the true path rides in an
+// AS4_PATH attribute. The returned slices are the raw attribute values.
+func EncodeLegacyASPath(segments []ASPathSegment) (asPath []byte, as4Path []byte, err error) {
+	substituted := false
+	for _, seg := range segments {
+		if len(seg.ASNs) > 255 {
+			return nil, nil, errors.New("bgp: AS path segment too long")
+		}
+		asPath = append(asPath, seg.Type, byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			if asn > 0xFFFF {
+				substituted = true
+				asPath = binary.BigEndian.AppendUint16(asPath, uint16(ASTrans))
+			} else {
+				asPath = binary.BigEndian.AppendUint16(asPath, uint16(asn))
+			}
+		}
+	}
+	if !substituted {
+		return asPath, nil, nil
+	}
+	for _, seg := range segments {
+		as4Path = append(as4Path, seg.Type, byte(len(seg.ASNs)))
+		for _, asn := range seg.ASNs {
+			as4Path = binary.BigEndian.AppendUint32(as4Path, asn)
+		}
+	}
+	return asPath, as4Path, nil
+}
+
+// decodeSegments16 parses a 2-octet AS_PATH attribute value.
+func decodeSegments16(val []byte) ([]ASPathSegment, error) {
+	var segs []ASPathSegment
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return nil, ErrTruncated
+		}
+		segType, count := val[0], int(val[1])
+		val = val[2:]
+		if len(val) < count*2 {
+			return nil, ErrTruncated
+		}
+		seg := ASPathSegment{Type: segType}
+		for i := 0; i < count; i++ {
+			seg.ASNs = append(seg.ASNs, uint32(binary.BigEndian.Uint16(val[i*2:])))
+		}
+		val = val[count*2:]
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+// decodeSegments32 parses a 4-octet AS_PATH/AS4_PATH attribute value.
+func decodeSegments32(val []byte) ([]ASPathSegment, error) {
+	var segs []ASPathSegment
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return nil, ErrTruncated
+		}
+		segType, count := val[0], int(val[1])
+		val = val[2:]
+		if len(val) < count*4 {
+			return nil, ErrTruncated
+		}
+		seg := ASPathSegment{Type: segType}
+		for i := 0; i < count; i++ {
+			seg.ASNs = append(seg.ASNs, binary.BigEndian.Uint32(val[i*4:]))
+		}
+		val = val[count*4:]
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+func segmentsLen(segs []ASPathSegment) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s.ASNs)
+	}
+	return n
+}
+
+// MergeAS4Path reconstructs the true 4-octet path from a legacy AS_PATH
+// (with AS_TRANS placeholders) and an AS4_PATH, per RFC 6793 §4.2.3:
+// when the AS_PATH is at least as long as the AS4_PATH, the leading
+// excess of the AS_PATH is prepended to the AS4_PATH; a shorter AS_PATH
+// signals a broken speaker and the legacy path is used as-is.
+func MergeAS4Path(asPath, as4Path []ASPathSegment) []ASPathSegment {
+	if len(as4Path) == 0 {
+		return asPath
+	}
+	n, n4 := segmentsLen(asPath), segmentsLen(as4Path)
+	if n < n4 {
+		return asPath // malformed per RFC 6793: ignore AS4_PATH
+	}
+	excess := n - n4
+	var merged []ASPathSegment
+	for _, seg := range asPath {
+		if excess == 0 {
+			break
+		}
+		if len(seg.ASNs) <= excess {
+			merged = append(merged, seg)
+			excess -= len(seg.ASNs)
+			continue
+		}
+		merged = append(merged, ASPathSegment{Type: seg.Type, ASNs: seg.ASNs[:excess]})
+		excess = 0
+	}
+	return append(merged, as4Path...)
+}
+
+// DecodeLegacyUpdate decodes an UPDATE received from a 2-octet session:
+// the AS_PATH attribute carries 2-octet ASNs and an optional AS4_PATH
+// restores the 4-octet reality. Everything else matches Decode.
+func DecodeLegacyUpdate(b []byte) (*Update, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != markerByte {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length != len(b) || length < HeaderLen || b[18] != TypeUpdate {
+		return nil, fmt.Errorf("%w: not a well-framed UPDATE", ErrBadLength)
+	}
+	body := b[HeaderLen:]
+	u := &Update{}
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	wdLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < wdLen {
+		return nil, ErrTruncated
+	}
+	wd := body[:wdLen]
+	body = body[wdLen:]
+	for len(wd) > 0 {
+		p, rest, err := decodePrefix(wd, false)
+		if err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wd = rest
+	}
+	if len(body) < 2 {
+		return nil, ErrTruncated
+	}
+	attrLen := int(binary.BigEndian.Uint16(body))
+	body = body[2:]
+	if len(body) < attrLen {
+		return nil, ErrTruncated
+	}
+	attrs := body[:attrLen]
+	body = body[attrLen:]
+
+	var legacyPath, truePath []ASPathSegment
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return nil, ErrTruncated
+		}
+		flags, typ := attrs[0], attrs[1]
+		var alen int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return nil, ErrTruncated
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			attrs = attrs[4:]
+		} else {
+			alen = int(attrs[2])
+			attrs = attrs[3:]
+		}
+		if len(attrs) < alen {
+			return nil, ErrTruncated
+		}
+		val := attrs[:alen]
+		attrs = attrs[alen:]
+		var err error
+		switch typ {
+		case AttrASPath:
+			legacyPath, err = decodeSegments16(val)
+		case AttrAS4Path:
+			truePath, err = decodeSegments32(val)
+		default:
+			err = u.decodeAttr(typ, val)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	u.ASPath = MergeAS4Path(legacyPath, truePath)
+
+	for len(body) > 0 {
+		p, rest, err := decodePrefix(body, false)
+		if err != nil {
+			return nil, err
+		}
+		u.NLRI = append(u.NLRI, p)
+		body = rest
+	}
+	return u, nil
+}
+
+// EncodeLegacyUpdate encodes u for a 2-octet session: AS_PATH in 2-octet
+// form with AS_TRANS substitution plus AS4_PATH when needed. Only the
+// attributes a legacy session can carry are emitted (no MP-BGP).
+func EncodeLegacyUpdate(u *Update) ([]byte, error) {
+	if len(u.MPReach) > 0 || len(u.MPUnreach) > 0 {
+		return nil, errors.New("bgp: legacy sessions cannot carry MP-BGP attributes")
+	}
+	asPath, as4Path, err := EncodeLegacyASPath(u.ASPath)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, HeaderLen, 128)
+	for i := 0; i < 16; i++ {
+		b[i] = markerByte
+	}
+	b[18] = TypeUpdate
+
+	var wd []byte
+	for _, p := range u.Withdrawn {
+		if p.Is6() {
+			return nil, errors.New("bgp: IPv6 withdraw on a legacy session")
+		}
+		wd = encodePrefix(wd, p)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(wd)))
+	b = append(b, wd...)
+
+	var attrs []byte
+	if len(u.NLRI) > 0 {
+		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
+		attrs = appendAttr(attrs, flagTransitive, AttrASPath, asPath)
+		if len(as4Path) > 0 {
+			attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrAS4Path, as4Path)
+		}
+		if !u.NextHop.Is4() {
+			return nil, errors.New("bgp: IPv4 NLRI requires an IPv4 next hop")
+		}
+		nh := u.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+	for _, p := range u.NLRI {
+		if p.Is6() {
+			return nil, errors.New("bgp: IPv6 NLRI on a legacy session")
+		}
+		b = encodePrefix(b, p)
+	}
+	if len(b) > MaxMsgLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	binary.BigEndian.PutUint16(b[16:18], uint16(len(b)))
+	return b, nil
+}

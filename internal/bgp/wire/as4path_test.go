@@ -1,0 +1,142 @@
+package wire
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"manrsmeter/internal/netx"
+)
+
+func TestEncodeLegacyASPathNoSubstitution(t *testing.T) {
+	segs := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500, 64501}}}
+	asPath, as4Path, err := EncodeLegacyASPath(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as4Path != nil {
+		t.Error("no substitution should emit no AS4_PATH")
+	}
+	got, err := decodeSegments16(asPath)
+	if err != nil || !reflect.DeepEqual(got, segs) {
+		t.Errorf("round trip = %+v, %v", got, err)
+	}
+}
+
+func TestEncodeLegacyASPathSubstitutesASTrans(t *testing.T) {
+	segs := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500, 4200000001, 64502}}}
+	asPath, as4Path, err := EncodeLegacyASPath(segs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := decodeSegments16(asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500, uint32(ASTrans), 64502}}}
+	if !reflect.DeepEqual(legacy, want) {
+		t.Errorf("legacy path = %+v", legacy)
+	}
+	truth, err := decodeSegments32(as4Path)
+	if err != nil || !reflect.DeepEqual(truth, segs) {
+		t.Errorf("AS4_PATH = %+v, %v", truth, err)
+	}
+}
+
+func TestMergeAS4Path(t *testing.T) {
+	legacy := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{65100, uint32(ASTrans), 64502}}}
+	truth := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{4200000001, 64502}}}
+	merged := MergeAS4Path(legacy, truth)
+	// Legacy is one ASN longer: its first hop (prepended by an OLD
+	// speaker after the NEW speaker built AS4_PATH) survives.
+	want := []ASPathSegment{
+		{Type: ASSequence, ASNs: []uint32{65100}},
+		{Type: ASSequence, ASNs: []uint32{4200000001, 64502}},
+	}
+	if !reflect.DeepEqual(merged, want) {
+		t.Errorf("merged = %+v", merged)
+	}
+	// Equal lengths: AS4_PATH wins outright.
+	merged = MergeAS4Path(truth, truth)
+	if !reflect.DeepEqual(merged, truth) {
+		t.Errorf("equal-length merge = %+v", merged)
+	}
+	// AS4_PATH longer than AS_PATH: malformed; keep legacy.
+	short := []ASPathSegment{{Type: ASSequence, ASNs: []uint32{1}}}
+	if got := MergeAS4Path(short, truth); !reflect.DeepEqual(got, short) {
+		t.Errorf("malformed merge = %+v", got)
+	}
+	// No AS4_PATH at all.
+	if got := MergeAS4Path(legacy, nil); !reflect.DeepEqual(got, legacy) {
+		t.Errorf("nil AS4_PATH merge = %+v", got)
+	}
+}
+
+func TestLegacyUpdateRoundTrip(t *testing.T) {
+	u := &Update{
+		Origin:  OriginIGP,
+		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500, 4200000001, 64502}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI:    []netx.Prefix{pfx("10.0.0.0/8"), pfx("198.51.100.0/24")},
+	}
+	b, err := EncodeLegacyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLegacyUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The true 4-octet path is restored via AS4_PATH.
+	if !reflect.DeepEqual(got.ASPath, u.ASPath) {
+		t.Errorf("path = %+v, want %+v", got.ASPath, u.ASPath)
+	}
+	if !reflect.DeepEqual(got.NLRI, u.NLRI) || got.NextHop != u.NextHop || got.Origin != u.Origin {
+		t.Errorf("fields = %+v", got)
+	}
+	origin, ok := got.OriginAS()
+	if !ok || origin != 64502 {
+		t.Errorf("origin = %d", origin)
+	}
+}
+
+func TestLegacyUpdateSmallASNsOnly(t *testing.T) {
+	u := &Update{
+		Origin:  OriginIGP,
+		ASPath:  []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500, 64501}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI:    []netx.Prefix{pfx("10.0.0.0/8")},
+	}
+	b, err := EncodeLegacyUpdate(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeLegacyUpdate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.ASPath, u.ASPath) {
+		t.Errorf("path = %+v", got.ASPath)
+	}
+}
+
+func TestLegacyUpdateErrors(t *testing.T) {
+	cases := []*Update{
+		{MPReach: []netx.Prefix{pfx("2001:db8::/32")}, MPNextHop: netip.MustParseAddr("2001:db8::1")},
+		{Withdrawn: []netx.Prefix{pfx("2001:db8::/32")}},
+		{NLRI: []netx.Prefix{pfx("10.0.0.0/8")}}, // no next hop
+	}
+	for i, u := range cases {
+		if _, err := EncodeLegacyUpdate(u); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+	// DecodeLegacyUpdate rejects non-UPDATE frames and bad markers.
+	ka, _ := Encode(&Keepalive{})
+	if _, err := DecodeLegacyUpdate(ka); err == nil {
+		t.Error("keepalive frame should fail")
+	}
+	if _, err := DecodeLegacyUpdate([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage should fail")
+	}
+}

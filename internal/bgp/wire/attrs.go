@@ -1,0 +1,53 @@
+package wire
+
+import "encoding/binary"
+
+// EncodeAttributes serializes only the path-attribute section of u (no
+// withdrawn routes, no NLRI). MRT TABLE_DUMP_V2 RIB entries embed BGP
+// path attributes in exactly this form (RFC 6396 §4.3.4, with the AS
+// paths in 4-octet encoding).
+func EncodeAttributes(u *Update) ([]byte, error) {
+	full, err := Encode(&Update{
+		Origin:      u.Origin,
+		ASPath:      u.ASPath,
+		NextHop:     u.NextHop,
+		MED:         u.MED,
+		HasMED:      u.HasMED,
+		LocalPref:   u.LocalPref,
+		HasLocal:    u.HasLocal,
+		Communities: u.Communities,
+		// NLRI (or MPReach) forces ORIGIN/AS_PATH/NEXT_HOP to be emitted;
+		// the classic NLRI bytes are sliced away below while MP prefixes
+		// live inside the MP_REACH attribute itself.
+		NLRI:      u.NLRI,
+		MPNextHop: u.MPNextHop,
+		MPReach:   u.MPReach,
+		MPUnreach: u.MPUnreach,
+	})
+	if err != nil {
+		return nil, err
+	}
+	body := full[HeaderLen:]
+	wdLen := int(binary.BigEndian.Uint16(body))
+	attrStart := 2 + wdLen
+	attrLen := int(binary.BigEndian.Uint16(body[attrStart:]))
+	out := make([]byte, attrLen)
+	copy(out, body[attrStart+2:attrStart+2+attrLen])
+	return out, nil
+}
+
+// DecodeAttributes parses a bare path-attribute section into an Update
+// carrying only attribute-derived fields.
+func DecodeAttributes(b []byte) (*Update, error) {
+	// Reconstruct a minimal UPDATE body around the attributes and reuse
+	// the strict message decoder.
+	body := make([]byte, 0, len(b)+4)
+	body = binary.BigEndian.AppendUint16(body, 0) // no withdrawn routes
+	body = binary.BigEndian.AppendUint16(body, uint16(len(b)))
+	body = append(body, b...)
+	u := &Update{}
+	if err := u.decodeBody(body); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// ReadMessage reads exactly one framed BGP message from r and decodes it.
+// It validates the header before reading the body so a corrupt length
+// cannot cause an oversized read.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 16; i++ {
+		if hdr[i] != markerByte {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, fmt.Errorf("%w: header says %d", ErrBadLength, length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// WriteMessage encodes msg and writes it to w.
+func WriteMessage(w io.Writer, msg Message) error {
+	b, err := Encode(msg)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,702 @@
+// Package wire implements the BGP-4 message encoding of RFC 4271 with the
+// extensions the measurement substrate needs: the 4-octet AS number
+// capability (RFC 6793, always negotiated by this implementation) and
+// multiprotocol IPv6 NLRI via MP_REACH/MP_UNREACH (RFC 4760).
+//
+// The codec is deliberately strict on decode — malformed lengths, truncated
+// attributes, and bad markers are errors, never silently repaired — because
+// the collector built on it must not mistake corrupt data for routes.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+
+	"manrsmeter/internal/netx"
+)
+
+// Message type codes from RFC 4271 §4.1.
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Header and message size limits from RFC 4271.
+const (
+	HeaderLen  = 19
+	MaxMsgLen  = 4096
+	markerByte = 0xFF
+)
+
+// Common errors surfaced by the decoder.
+var (
+	ErrBadMarker   = errors.New("bgp: header marker is not all-ones")
+	ErrBadLength   = errors.New("bgp: message length out of bounds")
+	ErrTruncated   = errors.New("bgp: message truncated")
+	ErrUnknownType = errors.New("bgp: unknown message type")
+)
+
+// Message is any BGP message body.
+type Message interface {
+	// Type returns the RFC 4271 message type code.
+	Type() byte
+	encodeBody(b []byte) ([]byte, error)
+	decodeBody(b []byte) error
+}
+
+// Capability codes used in OPEN optional parameters.
+const (
+	CapMultiprotocol = 1  // RFC 4760
+	CapFourOctetAS   = 65 // RFC 6793
+)
+
+// Capability is one BGP capability TLV.
+type Capability struct {
+	Code  byte
+	Value []byte
+}
+
+// Open is the OPEN message (RFC 4271 §4.2).
+type Open struct {
+	Version      byte
+	AS           uint16 // AS_TRANS (23456) when the real ASN needs 4 octets
+	HoldTime     uint16
+	BGPID        [4]byte
+	Capabilities []Capability
+}
+
+// ASTrans is the 2-octet placeholder ASN from RFC 6793.
+const ASTrans uint16 = 23456
+
+// NewOpen builds an OPEN announcing a 4-octet ASN with the standard
+// capabilities (4-octet AS, multiprotocol IPv4+IPv6 unicast).
+func NewOpen(asn uint32, holdTime uint16, bgpID [4]byte) *Open {
+	as2 := ASTrans
+	if asn <= 0xFFFF {
+		as2 = uint16(asn)
+	}
+	four := make([]byte, 4)
+	binary.BigEndian.PutUint32(four, asn)
+	return &Open{
+		Version:  4,
+		AS:       as2,
+		HoldTime: holdTime,
+		BGPID:    bgpID,
+		Capabilities: []Capability{
+			{Code: CapMultiprotocol, Value: []byte{0, 1, 0, 1}}, // AFI 1 (v4), SAFI 1
+			{Code: CapMultiprotocol, Value: []byte{0, 2, 0, 1}}, // AFI 2 (v6), SAFI 1
+			{Code: CapFourOctetAS, Value: four},
+		},
+	}
+}
+
+// FourOctetAS returns the ASN from the 4-octet-AS capability, or the
+// 2-octet field when the capability is absent.
+func (o *Open) FourOctetAS() uint32 {
+	for _, c := range o.Capabilities {
+		if c.Code == CapFourOctetAS && len(c.Value) == 4 {
+			return binary.BigEndian.Uint32(c.Value)
+		}
+	}
+	return uint32(o.AS)
+}
+
+// Type implements Message.
+func (o *Open) Type() byte { return TypeOpen }
+
+func (o *Open) encodeBody(b []byte) ([]byte, error) {
+	b = append(b, o.Version)
+	b = binary.BigEndian.AppendUint16(b, o.AS)
+	b = binary.BigEndian.AppendUint16(b, o.HoldTime)
+	b = append(b, o.BGPID[:]...)
+	// Optional parameters: one type-2 (capabilities) parameter per capability.
+	var opt []byte
+	for _, c := range o.Capabilities {
+		if len(c.Value) > 255-2 {
+			return nil, fmt.Errorf("bgp: capability %d too long", c.Code)
+		}
+		opt = append(opt, 2, byte(len(c.Value)+2), c.Code, byte(len(c.Value)))
+		opt = append(opt, c.Value...)
+	}
+	if len(opt) > 255 {
+		return nil, errors.New("bgp: optional parameters exceed 255 bytes")
+	}
+	b = append(b, byte(len(opt)))
+	return append(b, opt...), nil
+}
+
+func (o *Open) decodeBody(b []byte) error {
+	if len(b) < 10 {
+		return ErrTruncated
+	}
+	o.Version = b[0]
+	o.AS = binary.BigEndian.Uint16(b[1:3])
+	o.HoldTime = binary.BigEndian.Uint16(b[3:5])
+	copy(o.BGPID[:], b[5:9])
+	optLen := int(b[9])
+	opt := b[10:]
+	if len(opt) != optLen {
+		return fmt.Errorf("%w: optional parameter length %d vs %d available", ErrBadLength, optLen, len(opt))
+	}
+	o.Capabilities = nil
+	for len(opt) > 0 {
+		if len(opt) < 2 {
+			return ErrTruncated
+		}
+		ptype, plen := opt[0], int(opt[1])
+		if len(opt) < 2+plen {
+			return ErrTruncated
+		}
+		pval := opt[2 : 2+plen]
+		opt = opt[2+plen:]
+		if ptype != 2 { // not a capabilities parameter; ignore
+			continue
+		}
+		for len(pval) > 0 {
+			if len(pval) < 2 {
+				return ErrTruncated
+			}
+			code, clen := pval[0], int(pval[1])
+			if len(pval) < 2+clen {
+				return ErrTruncated
+			}
+			o.Capabilities = append(o.Capabilities, Capability{Code: code, Value: append([]byte(nil), pval[2:2+clen]...)})
+			pval = pval[2+clen:]
+		}
+	}
+	return nil
+}
+
+// Keepalive is the KEEPALIVE message: a bare header.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() byte                          { return TypeKeepalive }
+func (*Keepalive) encodeBody(b []byte) ([]byte, error) { return b, nil }
+func (*Keepalive) decodeBody(b []byte) error {
+	if len(b) != 0 {
+		return fmt.Errorf("%w: keepalive with body", ErrBadLength)
+	}
+	return nil
+}
+
+// Notification is the NOTIFICATION message (RFC 4271 §4.5).
+type Notification struct {
+	Code    byte
+	Subcode byte
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() byte { return TypeNotification }
+
+func (n *Notification) encodeBody(b []byte) ([]byte, error) {
+	b = append(b, n.Code, n.Subcode)
+	return append(b, n.Data...), nil
+}
+
+func (n *Notification) decodeBody(b []byte) error {
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	n.Code, n.Subcode = b[0], b[1]
+	n.Data = append([]byte(nil), b[2:]...)
+	return nil
+}
+
+// Error renders the notification as an error string.
+func (n *Notification) Error() string {
+	return fmt.Sprintf("bgp: notification code %d subcode %d", n.Code, n.Subcode)
+}
+
+// Path attribute type codes.
+const (
+	AttrOrigin          = 1
+	AttrASPath          = 2
+	AttrNextHop         = 3
+	AttrMED             = 4
+	AttrLocalPref       = 5
+	AttrAtomicAggregate = 6
+	AttrAggregator      = 7
+	AttrCommunities     = 8
+	AttrMPReachNLRI     = 14
+	AttrMPUnreachNLRI   = 15
+)
+
+// ORIGIN values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// AS path segment types.
+const (
+	ASSet      = 1
+	ASSequence = 2
+)
+
+// ASPathSegment is one segment of an AS_PATH attribute. This codec always
+// uses 4-octet ASNs on the wire (the 4-octet capability is mandatory in
+// this implementation).
+type ASPathSegment struct {
+	Type byte
+	ASNs []uint32
+}
+
+// Update is the UPDATE message. IPv4 routes ride the classic NLRI fields;
+// IPv6 routes ride MP_REACH/MP_UNREACH attributes.
+type Update struct {
+	Withdrawn   []netx.Prefix // IPv4
+	Origin      byte
+	ASPath      []ASPathSegment
+	NextHop     netip.Addr // IPv4 next hop; zero when no v4 NLRI
+	MED         uint32
+	HasMED      bool
+	LocalPref   uint32
+	HasLocal    bool
+	Communities []uint32
+	// ATOMIC_AGGREGATE / AGGREGATOR (RFC 4271 §5.1.6–5.1.7, with the
+	// 4-octet AGGREGATOR ASN of RFC 6793).
+	AtomicAggregate bool
+	AggregatorASN   uint32
+	AggregatorAddr  netip.Addr
+	HasAggregator   bool
+	NLRI            []netx.Prefix // IPv4
+	// IPv6 via RFC 4760 attributes.
+	MPNextHop netip.Addr
+	MPReach   []netx.Prefix
+	MPUnreach []netx.Prefix
+}
+
+// Type implements Message.
+func (*Update) Type() byte { return TypeUpdate }
+
+// OriginAS returns the rightmost ASN of the AS path — the route's origin —
+// and false for an empty path.
+func (u *Update) OriginAS() (uint32, bool) {
+	for i := len(u.ASPath) - 1; i >= 0; i-- {
+		seg := u.ASPath[i]
+		if seg.Type == ASSequence && len(seg.ASNs) > 0 {
+			return seg.ASNs[len(seg.ASNs)-1], true
+		}
+		if seg.Type == ASSet && len(seg.ASNs) > 0 {
+			// Origin from an AS_SET is ambiguous; report the first member.
+			return seg.ASNs[0], true
+		}
+	}
+	return 0, false
+}
+
+// PathASNs flattens the AS path into a sequence of ASNs (sets contribute
+// their members in order).
+func (u *Update) PathASNs() []uint32 {
+	var out []uint32
+	for _, seg := range u.ASPath {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}
+
+func encodePrefix(b []byte, p netx.Prefix) []byte {
+	b = append(b, byte(p.Bits()))
+	nbytes := (p.Bits() + 7) / 8
+	if p.Is6() {
+		a := p.Addr().As16()
+		return append(b, a[:nbytes]...)
+	}
+	a := p.Addr().As4()
+	return append(b, a[:nbytes]...)
+}
+
+func decodePrefix(b []byte, v6 bool) (netx.Prefix, []byte, error) {
+	if len(b) < 1 {
+		return netx.Prefix{}, nil, ErrTruncated
+	}
+	bits := int(b[0])
+	maxBits := 32
+	if v6 {
+		maxBits = 128
+	}
+	if bits > maxBits {
+		return netx.Prefix{}, nil, fmt.Errorf("%w: prefix length %d", ErrBadLength, bits)
+	}
+	nbytes := (bits + 7) / 8
+	if len(b) < 1+nbytes {
+		return netx.Prefix{}, nil, ErrTruncated
+	}
+	var addr netip.Addr
+	if v6 {
+		var a [16]byte
+		copy(a[:], b[1:1+nbytes])
+		addr = netip.AddrFrom16(a)
+	} else {
+		var a [4]byte
+		copy(a[:], b[1:1+nbytes])
+		addr = netip.AddrFrom4(a)
+	}
+	p, err := netx.PrefixFrom(addr, bits)
+	if err != nil {
+		return netx.Prefix{}, nil, err
+	}
+	return p, b[1+nbytes:], nil
+}
+
+// attribute flag bits
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+func appendAttr(b []byte, flags, typ byte, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+		b = append(b, flags, typ)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(val)))
+	} else {
+		b = append(b, flags, typ, byte(len(val)))
+	}
+	return append(b, val...)
+}
+
+func (u *Update) encodeBody(b []byte) ([]byte, error) {
+	// Withdrawn routes.
+	var wd []byte
+	for _, p := range u.Withdrawn {
+		if p.Is6() {
+			return nil, errors.New("bgp: IPv6 withdraw must use MPUnreach")
+		}
+		wd = encodePrefix(wd, p)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(wd)))
+	b = append(b, wd...)
+
+	// Path attributes.
+	var attrs []byte
+	hasRoutes := len(u.NLRI) > 0 || len(u.MPReach) > 0
+	if hasRoutes {
+		attrs = appendAttr(attrs, flagTransitive, AttrOrigin, []byte{u.Origin})
+		var pa []byte
+		for _, seg := range u.ASPath {
+			if len(seg.ASNs) > 255 {
+				return nil, errors.New("bgp: AS path segment too long")
+			}
+			pa = append(pa, seg.Type, byte(len(seg.ASNs)))
+			for _, asn := range seg.ASNs {
+				pa = binary.BigEndian.AppendUint32(pa, asn)
+			}
+		}
+		attrs = appendAttr(attrs, flagTransitive, AttrASPath, pa)
+	}
+	if len(u.NLRI) > 0 {
+		if !u.NextHop.Is4() {
+			return nil, errors.New("bgp: IPv4 NLRI requires an IPv4 next hop")
+		}
+		nh := u.NextHop.As4()
+		attrs = appendAttr(attrs, flagTransitive, AttrNextHop, nh[:])
+	}
+	if u.HasMED {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], u.MED)
+		attrs = appendAttr(attrs, flagOptional, AttrMED, v[:])
+	}
+	if u.HasLocal {
+		var v [4]byte
+		binary.BigEndian.PutUint32(v[:], u.LocalPref)
+		attrs = appendAttr(attrs, flagTransitive, AttrLocalPref, v[:])
+	}
+	if u.AtomicAggregate {
+		attrs = appendAttr(attrs, flagTransitive, AttrAtomicAggregate, nil)
+	}
+	if u.HasAggregator {
+		if !u.AggregatorAddr.Is4() {
+			return nil, errors.New("bgp: AGGREGATOR requires an IPv4 address")
+		}
+		var v [8]byte
+		binary.BigEndian.PutUint32(v[:4], u.AggregatorASN)
+		a := u.AggregatorAddr.As4()
+		copy(v[4:], a[:])
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrAggregator, v[:])
+	}
+	if len(u.Communities) > 0 {
+		var v []byte
+		for _, c := range u.Communities {
+			v = binary.BigEndian.AppendUint32(v, c)
+		}
+		attrs = appendAttr(attrs, flagOptional|flagTransitive, AttrCommunities, v)
+	}
+	if len(u.MPReach) > 0 {
+		if !u.MPNextHop.Is6() || u.MPNextHop.Is4In6() {
+			return nil, errors.New("bgp: MPReach requires an IPv6 next hop")
+		}
+		var v []byte
+		v = binary.BigEndian.AppendUint16(v, 2) // AFI IPv6
+		v = append(v, 1)                        // SAFI unicast
+		nh := u.MPNextHop.As16()
+		v = append(v, 16)
+		v = append(v, nh[:]...)
+		v = append(v, 0) // reserved
+		for _, p := range u.MPReach {
+			if !p.Is6() {
+				return nil, errors.New("bgp: MPReach NLRI must be IPv6")
+			}
+			v = encodePrefix(v, p)
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPReachNLRI, v)
+	}
+	if len(u.MPUnreach) > 0 {
+		var v []byte
+		v = binary.BigEndian.AppendUint16(v, 2)
+		v = append(v, 1)
+		for _, p := range u.MPUnreach {
+			if !p.Is6() {
+				return nil, errors.New("bgp: MPUnreach NLRI must be IPv6")
+			}
+			v = encodePrefix(v, p)
+		}
+		attrs = appendAttr(attrs, flagOptional, AttrMPUnreachNLRI, v)
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(attrs)))
+	b = append(b, attrs...)
+
+	for _, p := range u.NLRI {
+		if p.Is6() {
+			return nil, errors.New("bgp: IPv6 NLRI must use MPReach")
+		}
+		b = encodePrefix(b, p)
+	}
+	return b, nil
+}
+
+func (u *Update) decodeBody(b []byte) error {
+	*u = Update{}
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	wdLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < wdLen {
+		return ErrTruncated
+	}
+	wd := b[:wdLen]
+	b = b[wdLen:]
+	for len(wd) > 0 {
+		p, rest, err := decodePrefix(wd, false)
+		if err != nil {
+			return err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+		wd = rest
+	}
+	if len(b) < 2 {
+		return ErrTruncated
+	}
+	attrLen := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < attrLen {
+		return ErrTruncated
+	}
+	attrs := b[:attrLen]
+	b = b[attrLen:]
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return ErrTruncated
+		}
+		flags, typ := attrs[0], attrs[1]
+		var alen int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return ErrTruncated
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[2:4]))
+			attrs = attrs[4:]
+		} else {
+			alen = int(attrs[2])
+			attrs = attrs[3:]
+		}
+		if len(attrs) < alen {
+			return ErrTruncated
+		}
+		val := attrs[:alen]
+		attrs = attrs[alen:]
+		if err := u.decodeAttr(typ, val); err != nil {
+			return err
+		}
+	}
+	for len(b) > 0 {
+		p, rest, err := decodePrefix(b, false)
+		if err != nil {
+			return err
+		}
+		u.NLRI = append(u.NLRI, p)
+		b = rest
+	}
+	return nil
+}
+
+func (u *Update) decodeAttr(typ byte, val []byte) error {
+	switch typ {
+	case AttrOrigin:
+		if len(val) != 1 {
+			return fmt.Errorf("%w: ORIGIN length %d", ErrBadLength, len(val))
+		}
+		u.Origin = val[0]
+	case AttrASPath:
+		for len(val) > 0 {
+			if len(val) < 2 {
+				return ErrTruncated
+			}
+			segType, count := val[0], int(val[1])
+			val = val[2:]
+			if len(val) < count*4 {
+				return ErrTruncated
+			}
+			seg := ASPathSegment{Type: segType}
+			for i := 0; i < count; i++ {
+				seg.ASNs = append(seg.ASNs, binary.BigEndian.Uint32(val[i*4:]))
+			}
+			val = val[count*4:]
+			u.ASPath = append(u.ASPath, seg)
+		}
+	case AttrNextHop:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: NEXT_HOP length %d", ErrBadLength, len(val))
+		}
+		u.NextHop = netip.AddrFrom4([4]byte(val))
+	case AttrMED:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: MED length %d", ErrBadLength, len(val))
+		}
+		u.MED = binary.BigEndian.Uint32(val)
+		u.HasMED = true
+	case AttrLocalPref:
+		if len(val) != 4 {
+			return fmt.Errorf("%w: LOCAL_PREF length %d", ErrBadLength, len(val))
+		}
+		u.LocalPref = binary.BigEndian.Uint32(val)
+		u.HasLocal = true
+	case AttrAtomicAggregate:
+		if len(val) != 0 {
+			return fmt.Errorf("%w: ATOMIC_AGGREGATE length %d", ErrBadLength, len(val))
+		}
+		u.AtomicAggregate = true
+	case AttrAggregator:
+		if len(val) != 8 {
+			return fmt.Errorf("%w: AGGREGATOR length %d", ErrBadLength, len(val))
+		}
+		u.AggregatorASN = binary.BigEndian.Uint32(val[:4])
+		u.AggregatorAddr = netip.AddrFrom4([4]byte(val[4:8]))
+		u.HasAggregator = true
+	case AttrCommunities:
+		if len(val)%4 != 0 {
+			return fmt.Errorf("%w: COMMUNITIES length %d", ErrBadLength, len(val))
+		}
+		for i := 0; i < len(val); i += 4 {
+			u.Communities = append(u.Communities, binary.BigEndian.Uint32(val[i:]))
+		}
+	case AttrMPReachNLRI:
+		if len(val) < 5 {
+			return ErrTruncated
+		}
+		afi := binary.BigEndian.Uint16(val)
+		safi := val[2]
+		nhLen := int(val[3])
+		if afi != 2 || safi != 1 {
+			return fmt.Errorf("bgp: unsupported MP AFI/SAFI %d/%d", afi, safi)
+		}
+		if len(val) < 4+nhLen+1 {
+			return ErrTruncated
+		}
+		if nhLen == 16 {
+			u.MPNextHop = netip.AddrFrom16([16]byte(val[4 : 4+nhLen]))
+		}
+		rest := val[4+nhLen+1:]
+		for len(rest) > 0 {
+			p, r, err := decodePrefix(rest, true)
+			if err != nil {
+				return err
+			}
+			u.MPReach = append(u.MPReach, p)
+			rest = r
+		}
+	case AttrMPUnreachNLRI:
+		if len(val) < 3 {
+			return ErrTruncated
+		}
+		afi := binary.BigEndian.Uint16(val)
+		safi := val[2]
+		if afi != 2 || safi != 1 {
+			return fmt.Errorf("bgp: unsupported MP AFI/SAFI %d/%d", afi, safi)
+		}
+		rest := val[3:]
+		for len(rest) > 0 {
+			p, r, err := decodePrefix(rest, true)
+			if err != nil {
+				return err
+			}
+			u.MPUnreach = append(u.MPUnreach, p)
+			rest = r
+		}
+	default:
+		// Unknown attributes are skipped (already consumed by caller).
+	}
+	return nil
+}
+
+// Encode serializes msg with its header. It returns an error when the
+// body exceeds the 4096-byte message limit.
+func Encode(msg Message) ([]byte, error) {
+	b := make([]byte, HeaderLen, 64)
+	for i := 0; i < 16; i++ {
+		b[i] = markerByte
+	}
+	b[18] = msg.Type()
+	b, err := msg.encodeBody(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxMsgLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadLength, len(b))
+	}
+	binary.BigEndian.PutUint16(b[16:18], uint16(len(b)))
+	return b, nil
+}
+
+// Decode parses one complete message from b, which must be exactly one
+// message as framed by its header length field.
+func Decode(b []byte) (Message, error) {
+	if len(b) < HeaderLen {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != markerByte {
+			return nil, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length < HeaderLen || length > MaxMsgLen || length != len(b) {
+		return nil, ErrBadLength
+	}
+	var msg Message
+	switch b[18] {
+	case TypeOpen:
+		msg = &Open{}
+	case TypeUpdate:
+		msg = &Update{}
+	case TypeNotification:
+		msg = &Notification{}
+	case TypeKeepalive:
+		msg = &Keepalive{}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[18])
+	}
+	if err := msg.decodeBody(b[HeaderLen:]); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}

@@ -1,0 +1,320 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"manrsmeter/internal/netx"
+)
+
+func pfx(s string) netx.Prefix { return netx.MustParsePrefix(s) }
+
+func roundTrip(t *testing.T, msg Message) Message {
+	t.Helper()
+	b, err := Encode(msg)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	return got
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	o := NewOpen(4200000001, 180, [4]byte{192, 0, 2, 1})
+	got := roundTrip(t, o).(*Open)
+	if got.Version != 4 || got.AS != ASTrans || got.HoldTime != 180 {
+		t.Errorf("open fields = %+v", got)
+	}
+	if got.FourOctetAS() != 4200000001 {
+		t.Errorf("FourOctetAS = %d", got.FourOctetAS())
+	}
+	if len(got.Capabilities) != 3 {
+		t.Errorf("capabilities = %v", got.Capabilities)
+	}
+}
+
+func TestOpenSmallASN(t *testing.T) {
+	o := NewOpen(64500, 90, [4]byte{10, 0, 0, 1})
+	got := roundTrip(t, o).(*Open)
+	if got.AS != 64500 {
+		t.Errorf("2-octet field = %d, want 64500", got.AS)
+	}
+	if got.FourOctetAS() != 64500 {
+		t.Errorf("FourOctetAS = %d", got.FourOctetAS())
+	}
+}
+
+func TestOpenWithoutFourOctetCap(t *testing.T) {
+	o := &Open{Version: 4, AS: 64500, HoldTime: 90}
+	got := roundTrip(t, o).(*Open)
+	if got.FourOctetAS() != 64500 {
+		t.Errorf("fallback FourOctetAS = %d", got.FourOctetAS())
+	}
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	got := roundTrip(t, &Keepalive{})
+	if got.Type() != TypeKeepalive {
+		t.Errorf("type = %d", got.Type())
+	}
+	b, _ := Encode(&Keepalive{})
+	if len(b) != HeaderLen {
+		t.Errorf("keepalive length = %d, want %d", len(b), HeaderLen)
+	}
+}
+
+func TestNotificationRoundTrip(t *testing.T) {
+	n := &Notification{Code: 6, Subcode: 2, Data: []byte{1, 2, 3}}
+	got := roundTrip(t, n).(*Notification)
+	if got.Code != 6 || got.Subcode != 2 || !bytes.Equal(got.Data, []byte{1, 2, 3}) {
+		t.Errorf("notification = %+v", got)
+	}
+	if got.Error() == "" {
+		t.Error("Error() should describe the notification")
+	}
+}
+
+func fullUpdate() *Update {
+	return &Update{
+		Withdrawn: []netx.Prefix{pfx("203.0.113.0/24")},
+		Origin:    OriginIGP,
+		ASPath: []ASPathSegment{
+			{Type: ASSequence, ASNs: []uint32{64500, 4200000001, 64502}},
+			{Type: ASSet, ASNs: []uint32{64510, 64511}},
+		},
+		NextHop:     netip.MustParseAddr("192.0.2.1"),
+		MED:         100,
+		HasMED:      true,
+		LocalPref:   200,
+		HasLocal:    true,
+		Communities: []uint32{0xFDE80001, 0xFFFF0000},
+		NLRI:        []netx.Prefix{pfx("198.51.100.0/24"), pfx("10.0.0.0/8"), pfx("0.0.0.0/0")},
+		MPNextHop:   netip.MustParseAddr("2001:db8::1"),
+		MPReach:     []netx.Prefix{pfx("2001:db8:1::/48"), pfx("2001:db8::/32")},
+		MPUnreach:   []netx.Prefix{pfx("2001:db8:dead::/48")},
+	}
+}
+
+func TestUpdateRoundTrip(t *testing.T) {
+	u := fullUpdate()
+	got := roundTrip(t, u).(*Update)
+	if !reflect.DeepEqual(u, got) {
+		t.Errorf("update round trip mismatch:\nsent %+v\ngot  %+v", u, got)
+	}
+}
+
+func TestUpdateOriginAS(t *testing.T) {
+	u := fullUpdate()
+	// Rightmost segment is an AS_SET; first member reported.
+	if asn, ok := u.OriginAS(); !ok || asn != 64510 {
+		t.Errorf("OriginAS = %d,%v", asn, ok)
+	}
+	u2 := &Update{ASPath: []ASPathSegment{{Type: ASSequence, ASNs: []uint32{1, 2, 3}}}}
+	if asn, ok := u2.OriginAS(); !ok || asn != 3 {
+		t.Errorf("OriginAS seq = %d,%v", asn, ok)
+	}
+	if _, ok := (&Update{}).OriginAS(); ok {
+		t.Error("empty path should have no origin")
+	}
+	if got := u2.PathASNs(); !reflect.DeepEqual(got, []uint32{1, 2, 3}) {
+		t.Errorf("PathASNs = %v", got)
+	}
+}
+
+func TestUpdateEmptyWithdrawOnly(t *testing.T) {
+	u := &Update{Withdrawn: []netx.Prefix{pfx("10.0.0.0/8")}}
+	got := roundTrip(t, u).(*Update)
+	if len(got.Withdrawn) != 1 || len(got.NLRI) != 0 {
+		t.Errorf("withdraw-only update = %+v", got)
+	}
+}
+
+func TestUpdateEncodeErrors(t *testing.T) {
+	cases := []*Update{
+		{Withdrawn: []netx.Prefix{pfx("2001:db8::/32")}},                                           // v6 withdraw
+		{NLRI: []netx.Prefix{pfx("2001:db8::/32")}, NextHop: netip.MustParseAddr("192.0.2.1")},     // v6 in NLRI
+		{NLRI: []netx.Prefix{pfx("10.0.0.0/8")}},                                                   // missing next hop
+		{MPReach: []netx.Prefix{pfx("2001:db8::/32")}},                                             // missing MP next hop
+		{MPReach: []netx.Prefix{pfx("10.0.0.0/8")}, MPNextHop: netip.MustParseAddr("2001:db8::1")}, // v4 in MPReach
+	}
+	for i, u := range cases {
+		if _, err := Encode(u); err == nil {
+			t.Errorf("case %d should fail to encode", i)
+		}
+	}
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	good, _ := Encode(&Keepalive{})
+
+	bad := bytes.Clone(good)
+	bad[0] = 0x00
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMarker) {
+		t.Errorf("marker error = %v", err)
+	}
+
+	bad = bytes.Clone(good)
+	bad[17] = 200 // length larger than buffer
+	if _, err := Decode(bad); !errors.Is(err, ErrBadLength) {
+		t.Errorf("length error = %v", err)
+	}
+
+	bad = bytes.Clone(good)
+	bad[18] = 77
+	if _, err := Decode(bad); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("type error = %v", err)
+	}
+
+	if _, err := Decode(good[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated error = %v", err)
+	}
+
+	// Keepalive with spurious body bytes.
+	withBody := bytes.Clone(good)
+	withBody = append(withBody, 0xAA)
+	withBody[17] = byte(len(withBody))
+	if _, err := Decode(withBody); err == nil {
+		t.Error("keepalive with body should fail")
+	}
+}
+
+func TestDecodeTruncatedUpdate(t *testing.T) {
+	u := fullUpdate()
+	b, err := Encode(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop bytes off the end and fix the header length. A truncation must
+	// never round-trip to the original message: either the decoder errors,
+	// or (when the cut removes whole trailing NLRI entries, which is
+	// undetectable by the format) it yields a strictly smaller message.
+	for cut := 1; cut < len(b)-HeaderLen; cut++ {
+		tb := bytes.Clone(b[:len(b)-cut])
+		tb[16] = byte(len(tb) >> 8)
+		tb[17] = byte(len(tb))
+		got, err := Decode(tb)
+		if err != nil {
+			continue
+		}
+		gu, ok := got.(*Update)
+		if !ok || reflect.DeepEqual(gu, u) || len(gu.NLRI) >= len(u.NLRI) {
+			t.Errorf("truncation of %d bytes decoded as original-equivalent message", cut)
+		}
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		NewOpen(64500, 90, [4]byte{10, 0, 0, 1}),
+		&Keepalive{},
+		fullUpdate(),
+		&Notification{Code: 6, Subcode: 4},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("WriteMessage: %v", err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage %d: %v", i, err)
+		}
+		if got.Type() != want.Type() {
+			t.Errorf("msg %d type = %d, want %d", i, got.Type(), want.Type())
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("ReadMessage on empty stream should fail")
+	}
+}
+
+func TestReadMessageBadHeader(t *testing.T) {
+	// Bad marker detected before the body is read.
+	b := make([]byte, HeaderLen)
+	b[16], b[17], b[18] = 0, HeaderLen, TypeKeepalive
+	if _, err := ReadMessage(bytes.NewReader(b)); !errors.Is(err, ErrBadMarker) {
+		t.Errorf("err = %v", err)
+	}
+	// Oversized length rejected without allocation.
+	for i := 0; i < 16; i++ {
+		b[i] = 0xFF
+	}
+	b[16], b[17] = 0xFF, 0xFF
+	if _, err := ReadMessage(bytes.NewReader(b)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: random well-formed updates survive an encode/decode cycle.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		u := &Update{Origin: byte(r.Intn(3))}
+		npath := 1 + r.Intn(5)
+		seg := ASPathSegment{Type: ASSequence}
+		for i := 0; i < npath; i++ {
+			seg.ASNs = append(seg.ASNs, r.Uint32())
+		}
+		u.ASPath = []ASPathSegment{seg}
+		n := 1 + r.Intn(20)
+		for i := 0; i < n; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			bits := r.Intn(33)
+			p, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+			u.NLRI = append(u.NLRI, p)
+		}
+		u.NextHop = netip.AddrFrom4([4]byte{192, 0, 2, byte(r.Intn(256))})
+		if r.Intn(2) == 0 {
+			u.HasMED, u.MED = true, r.Uint32()
+		}
+		b, err := Encode(u)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(u, got.(*Update))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregatorRoundTrip(t *testing.T) {
+	u := &Update{
+		Origin:          OriginIGP,
+		ASPath:          []ASPathSegment{{Type: ASSequence, ASNs: []uint32{64500}}},
+		NextHop:         netip.MustParseAddr("192.0.2.1"),
+		NLRI:            []netx.Prefix{pfx("10.0.0.0/8")},
+		AtomicAggregate: true,
+		AggregatorASN:   4200000001,
+		AggregatorAddr:  netip.MustParseAddr("192.0.2.9"),
+		HasAggregator:   true,
+	}
+	got := roundTrip(t, u).(*Update)
+	if !got.AtomicAggregate {
+		t.Error("ATOMIC_AGGREGATE lost")
+	}
+	if !got.HasAggregator || got.AggregatorASN != 4200000001 || got.AggregatorAddr != u.AggregatorAddr {
+		t.Errorf("AGGREGATOR = %+v", got)
+	}
+	// AGGREGATOR with a v6 address cannot encode.
+	bad := *u
+	bad.AggregatorAddr = netip.MustParseAddr("2001:db8::1")
+	if _, err := Encode(&bad); err == nil {
+		t.Error("v6 AGGREGATOR should fail to encode")
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/rov"
+	"manrsmeter/internal/stats"
+)
+
+// transitASNs returns every AS that propagates at least one visible
+// announcement.
+func (p *Pipeline) transitASNs() []uint32 {
+	var out []uint32
+	for asn, m := range p.metrics {
+		if m.Propagated > 0 {
+			out = append(out, asn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fig7aRPKIPropagation is Figure 7a: the CDF of each transit AS's
+// percentage of propagated RPKI-Invalid announcements (Formula 4).
+func (p *Pipeline) Fig7aRPKIPropagation() *CohortFigure {
+	return p.buildCohortFigure(
+		"Figure 7a — percent of propagated RPKI Invalid prefixes",
+		"PG_RPKIinv (Formula 4)",
+		p.transitASNs(),
+		func(asn uint32) (float64, bool) {
+			m := p.metrics[asn]
+			if m == nil || m.Propagated == 0 {
+				return 0, false
+			}
+			return m.PGRPKIInvalid(), true
+		})
+}
+
+// Fig7bIRRPropagation is Figure 7b: Formula 5 by cohort.
+func (p *Pipeline) Fig7bIRRPropagation() *CohortFigure {
+	return p.buildCohortFigure(
+		"Figure 7b — percent of propagated IRR Invalid prefixes",
+		"PG_IRRinv (Formula 5)",
+		p.transitASNs(),
+		func(asn uint32) (float64, bool) {
+			m := p.metrics[asn]
+			if m == nil || m.Propagated == 0 {
+				return 0, false
+			}
+			return m.PGIRRInvalid(), true
+		})
+}
+
+// Fig8Unconformant is Figure 8: Formula 6 — the percentage of
+// customer-learned announcements that are MANRS-unconformant — by cohort.
+// Only ASes that propagate customer announcements appear.
+func (p *Pipeline) Fig8Unconformant() *CohortFigure {
+	return p.buildCohortFigure(
+		"Figure 8 — percent of propagated MANRS-unconformant customer prefixes",
+		"PG_unc (Formula 6)",
+		p.transitASNs(),
+		func(asn uint32) (float64, bool) {
+			m := p.metrics[asn]
+			if m == nil || m.PropCustomer == 0 {
+				return 0, false
+			}
+			return m.PGUnconformant(), true
+		})
+}
+
+// Table2Row is one size class of Table 2 (Action 1 conformance).
+type Table2Row struct {
+	Class manrs.SizeClass
+	// TransitConformant / TotalTransit cover members that actually
+	// propagate customer announcements; TotalConformant / TotalMANRS add
+	// the trivially conformant remainder.
+	TransitConformant int
+	TotalTransit      int
+	TotalConformant   int
+	TotalMANRS        int
+}
+
+// Table2Action1 evaluates Action 1 for every member AS, bucketed by size
+// class.
+func (p *Pipeline) Table2Action1() []Table2Row {
+	rows := map[manrs.SizeClass]*Table2Row{}
+	for _, c := range manrs.AllSizeClasses {
+		rows[c] = &Table2Row{Class: c}
+	}
+	for _, part := range p.World.MANRS.Members(p.AsOf) {
+		class := manrs.ClassifySize(p.World.Graph.CustomerDegree(part.ASN))
+		r := rows[class]
+		r.TotalMANRS++
+		m := p.metrics[part.ASN]
+		if manrs.Action1Trivial(m) {
+			r.TotalConformant++
+			continue
+		}
+		r.TotalTransit++
+		if manrs.Action1Conformant(m) {
+			r.TransitConformant++
+			r.TotalConformant++
+		}
+	}
+	out := make([]Table2Row, 0, len(rows))
+	for _, c := range manrs.AllSizeClasses {
+		out = append(out, *rows[c])
+	}
+	return out
+}
+
+// RenderTable2 writes Table 2.
+func RenderTable2(rows []Table2Row) string {
+	tb := stats.NewTable("class", "transit conformant", "total transit", "total conformant", "total MANRS")
+	for _, r := range rows {
+		tc, tot := "n/a", "n/a"
+		if r.TotalTransit > 0 {
+			tc = stats.Pct(float64(r.TransitConformant) / float64(r.TotalTransit))
+		}
+		if r.TotalMANRS > 0 {
+			tot = stats.Pct(float64(r.TotalConformant) / float64(r.TotalMANRS))
+		}
+		tb.AddRowf(r.Class.String(),
+			intPct(r.TransitConformant, tc), r.TotalTransit,
+			intPct(r.TotalConformant, tot), r.TotalMANRS)
+	}
+	return "Table 2 — Action 1 (route filtering) conformance\n" + tb.String()
+}
+
+func intPct(n int, pct string) string { return fmt.Sprintf("%d (%s)", n, pct) }
+
+// Fig9Result is Figure 9: MANRS preference score distributions by RPKI
+// status.
+type Fig9Result struct {
+	// Scores holds, per status, the preference-score sample.
+	Scores map[rov.Status]*stats.CDF
+	Counts map[rov.Status]int
+}
+
+// Fig9Preference computes Eq. 9 for every visible prefix-origin and
+// groups by RPKI status (Valid, NotFound, Invalid — both invalid
+// variants combined, as the paper plots them).
+func (p *Pipeline) Fig9Preference() *Fig9Result {
+	scores := manrs.PreferenceScores(p.ds.Transits, p.World.MANRS, p.AsOf)
+	bucket := map[rov.Status][]float64{}
+	for _, s := range scores {
+		status := s.RPKI
+		if status.IsInvalid() {
+			status = rov.InvalidASN // combine invalid variants
+		}
+		bucket[status] = append(bucket[status], s.Score)
+	}
+	res := &Fig9Result{Scores: map[rov.Status]*stats.CDF{}, Counts: map[rov.Status]int{}}
+	for st, vals := range bucket {
+		res.Scores[st] = stats.NewCDF(vals)
+		res.Counts[st] = len(vals)
+	}
+	return res
+}
+
+// ShareAboveZero returns the fraction of prefix-origins with preference
+// score > 0 for a status (the paper's 34% / 36% / 14% comparison), and
+// false when the bucket is empty.
+func (r *Fig9Result) ShareAboveZero(st rov.Status) (float64, bool) {
+	c := r.Scores[st]
+	if c == nil || c.N() == 0 {
+		return 0, false
+	}
+	return c.Above(0), true
+}
+
+// Render writes the Figure 9 summary.
+func (r *Fig9Result) Render() string {
+	tb := stats.NewTable("RPKI status", "prefix-origins", "median score", "share > 0")
+	for _, st := range []rov.Status{rov.InvalidASN, rov.Valid, rov.NotFound} {
+		label := map[rov.Status]string{
+			rov.InvalidASN: "Invalid", rov.Valid: "Valid", rov.NotFound: "NotFound",
+		}[st]
+		c := r.Scores[st]
+		if c == nil || c.N() == 0 {
+			tb.AddRowf(label, 0, "-", "-")
+			continue
+		}
+		tb.AddRowf(label, c.N(), c.Median(), stats.Pct(c.Above(0)))
+	}
+	return "Figure 9 — MANRS preference score (Eq. 9) by RPKI status\n" + tb.String()
+}

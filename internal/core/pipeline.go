@@ -1,0 +1,87 @@
+// Package core is the experiment pipeline: one function per table and
+// figure of the paper's evaluation, each returning a structured result
+// that renders to the same rows/series the paper reports. The pipeline
+// runs over a synth.World (the simulated Internet) exactly the way the
+// paper's pipeline runs over RouteViews/RIS + RPKI + IRR + CAIDA data.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/synth"
+)
+
+// Pipeline caches the expensive artifacts (the May-2022 dataset and the
+// per-AS metrics) shared by the experiments.
+type Pipeline struct {
+	World *synth.World
+	// AsOf is the headline measurement date (May 1 of the final year).
+	AsOf time.Time
+
+	ds      *ihr.Dataset
+	metrics map[uint32]*manrs.ASMetrics
+}
+
+// NewPipeline builds the dataset at the study's end date and aggregates
+// per-AS metrics.
+func NewPipeline(w *synth.World) (*Pipeline, error) {
+	asOf := w.Date(w.Config.EndYear)
+	ds, err := w.DatasetAt(asOf)
+	if err != nil {
+		return nil, fmt.Errorf("core: build dataset: %w", err)
+	}
+	return &Pipeline{
+		World:   w,
+		AsOf:    asOf,
+		ds:      ds,
+		metrics: manrs.ComputeMetrics(ds),
+	}, nil
+}
+
+// Dataset exposes the cached IHR dataset at AsOf.
+func (p *Pipeline) Dataset() *ihr.Dataset { return p.ds }
+
+// Metrics exposes the cached per-AS metrics at AsOf.
+func (p *Pipeline) Metrics() map[uint32]*manrs.ASMetrics { return p.metrics }
+
+// Cohort identifies one of the paper's six comparison groups.
+type Cohort struct {
+	Class  manrs.SizeClass
+	Member bool
+}
+
+// String renders like the paper's figure legends ("small MANRS").
+func (c Cohort) String() string {
+	if c.Member {
+		return c.Class.String() + " MANRS"
+	}
+	return c.Class.String() + " non-MANRS"
+}
+
+// AllCohorts lists the six cohorts in legend order.
+var AllCohorts = []Cohort{
+	{manrs.Small, true}, {manrs.Small, false},
+	{manrs.Medium, true}, {manrs.Medium, false},
+	{manrs.Large, true}, {manrs.Large, false},
+}
+
+// CohortOf classifies an AS at the pipeline's measurement date.
+func (p *Pipeline) CohortOf(asn uint32) Cohort {
+	return Cohort{
+		Class:  manrs.ClassifySize(p.World.Graph.CustomerDegree(asn)),
+		Member: p.World.MANRS.IsMember(asn, p.AsOf),
+	}
+}
+
+// memberProgram returns the program an AS belongs to (valid only for
+// members).
+func (p *Pipeline) memberProgram(asn uint32) (manrs.Program, bool) {
+	part, ok := p.World.MANRS.Lookup(asn)
+	if !ok || part.Joined.After(p.AsOf) {
+		return 0, false
+	}
+	return part.Program, true
+}

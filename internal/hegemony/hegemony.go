@@ -1,0 +1,90 @@
+// Package hegemony implements the AS hegemony metric of Fontugne, Shah
+// and Aben ("The (thin) bridges of AS connectivity: Measuring dependency
+// using AS hegemony", PAM 2018), as used by the Internet Health Report
+// and by the paper's MANRS preference score (§6.5).
+//
+// For a destination (a prefix-origin pair) observed from a set of vantage
+// points, the hegemony of a transit AS is the trimmed mean — the top and
+// bottom 10% of vantage points are discarded — of the indicator "this
+// vantage point's path crosses the AS". The origin AS of a path is a
+// trivial transit with hegemony 1; the vantage AS itself is excluded from
+// its own path to reduce sampling bias, mirroring the original method.
+package hegemony
+
+import (
+	"sort"
+
+	"manrsmeter/internal/stats"
+)
+
+// DefaultTrim is the trimming fraction from the original paper.
+const DefaultTrim = 0.1
+
+// Scores computes per-AS hegemony for one destination from the AS paths
+// observed at the vantage points. Each path runs vantage-first,
+// origin-last ("path[0] is the monitor"). Empty paths are ignored. The
+// result maps every AS that appears on at least one path (beyond the
+// vantage position) to its hegemony in [0, 1]; ASes trimmed to zero are
+// omitted.
+func Scores(paths [][]uint32, trim float64) map[uint32]float64 {
+	valid := paths[:0:0]
+	for _, p := range paths {
+		if len(p) > 0 {
+			valid = append(valid, p)
+		}
+	}
+	n := len(valid)
+	if n == 0 {
+		return nil
+	}
+	// Candidate transit ASes: everything except position 0 of each path.
+	onPath := make(map[uint32][]float64) // AS → indicator per vantage
+	for vi, p := range valid {
+		seen := make(map[uint32]bool, len(p))
+		for i, asn := range p {
+			if i == 0 && len(p) > 1 {
+				continue // exclude the vantage AS itself
+			}
+			if seen[asn] {
+				continue // prepending duplicates count once
+			}
+			seen[asn] = true
+			ind, ok := onPath[asn]
+			if !ok {
+				ind = make([]float64, n)
+				onPath[asn] = ind
+			}
+			ind[vi] = 1
+		}
+	}
+	scores := make(map[uint32]float64, len(onPath))
+	for asn, ind := range onPath {
+		s := stats.TrimmedMean(ind, trim)
+		if s > 0 {
+			scores[asn] = s
+		}
+	}
+	return scores
+}
+
+// Score is one AS's hegemony toward a destination.
+type Score struct {
+	ASN      uint32
+	Hegemony float64
+}
+
+// Ranked returns scores sorted by descending hegemony, ties by ascending
+// ASN.
+func Ranked(scores map[uint32]float64) []Score {
+	out := make([]Score, 0, len(scores))
+	for asn, h := range scores {
+		out = append(out, Score{ASN: asn, Hegemony: h})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hegemony != out[j].Hegemony {
+			return out[i].Hegemony > out[j].Hegemony
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	return out
+}

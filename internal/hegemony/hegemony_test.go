@@ -1,0 +1,133 @@
+package hegemony
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestScoresAllPathsThroughOneAS(t *testing.T) {
+	// 10 vantage points, all paths cross AS 100 and end at origin 999.
+	var paths [][]uint32
+	for v := uint32(1); v <= 10; v++ {
+		paths = append(paths, []uint32{v, 100, 999})
+	}
+	s := Scores(paths, DefaultTrim)
+	if got := s[100]; got != 1 {
+		t.Errorf("hegemony(100) = %g, want 1", got)
+	}
+	if got := s[999]; got != 1 {
+		t.Errorf("hegemony(origin) = %g, want 1 (trivial transit)", got)
+	}
+	// Vantage ASes must not appear: each is excluded from its own path
+	// and absent from the others.
+	for v := uint32(1); v <= 10; v++ {
+		if _, ok := s[v]; ok {
+			t.Errorf("vantage AS %d got a score", v)
+		}
+	}
+}
+
+func TestScoresPartialTransit(t *testing.T) {
+	// AS 100 on half the paths, AS 200 on the other half; with 10% trim
+	// on 0/1 indicators of a 10-sample set the trimmed mean of five ones
+	// in ten is (drop one 0, one 1) 4/8 = 0.5.
+	var paths [][]uint32
+	for v := uint32(1); v <= 5; v++ {
+		paths = append(paths, []uint32{v, 100, 999})
+	}
+	for v := uint32(6); v <= 10; v++ {
+		paths = append(paths, []uint32{v, 200, 999})
+	}
+	s := Scores(paths, DefaultTrim)
+	if math.Abs(s[100]-0.5) > 1e-9 || math.Abs(s[200]-0.5) > 1e-9 {
+		t.Errorf("scores = %v", s)
+	}
+}
+
+func TestScoresTrimmingSuppressesRareAS(t *testing.T) {
+	// An AS on only 1 of 20 paths is trimmed to zero and omitted.
+	var paths [][]uint32
+	for v := uint32(1); v <= 19; v++ {
+		paths = append(paths, []uint32{v, 100, 999})
+	}
+	paths = append(paths, []uint32{20, 555, 100, 999})
+	s := Scores(paths, DefaultTrim)
+	if _, ok := s[555]; ok {
+		t.Errorf("rare AS should be trimmed away: %v", s)
+	}
+	if s[100] != 1 {
+		t.Errorf("hegemony(100) = %g", s[100])
+	}
+	// With no trimming it appears with score 1/20.
+	s0 := Scores(paths, 0)
+	if math.Abs(s0[555]-0.05) > 1e-9 {
+		t.Errorf("untrimmed score = %g, want 0.05", s0[555])
+	}
+}
+
+func TestScoresEdgeCases(t *testing.T) {
+	if s := Scores(nil, DefaultTrim); s != nil {
+		t.Errorf("no paths should give nil, got %v", s)
+	}
+	if s := Scores([][]uint32{{}, {}}, DefaultTrim); s != nil {
+		t.Errorf("empty paths should give nil, got %v", s)
+	}
+	// Single-AS path: the origin is also the vantage; kept (len==1).
+	s := Scores([][]uint32{{999}}, DefaultTrim)
+	if s[999] != 1 {
+		t.Errorf("origin-only path = %v", s)
+	}
+	// Path with a duplicated AS (prepending) counts once.
+	s = Scores([][]uint32{{1, 100, 100, 999}}, 0)
+	if s[100] != 1 {
+		t.Errorf("duplicated transit = %v", s)
+	}
+}
+
+func TestRanked(t *testing.T) {
+	ranked := Ranked(map[uint32]float64{10: 0.5, 20: 1.0, 30: 0.5})
+	if len(ranked) != 3 || ranked[0].ASN != 20 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	// Ties broken by ascending ASN.
+	if ranked[1].ASN != 10 || ranked[2].ASN != 30 {
+		t.Errorf("tie order = %v", ranked)
+	}
+}
+
+// Property: hegemony scores are in (0, 1] and the origin of every path
+// scores at least as high as any other AS when it terminates all paths.
+func TestScoresBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		origin := uint32(999)
+		var paths [][]uint32
+		for v := 0; v < n; v++ {
+			path := []uint32{uint32(1000 + v)}
+			hops := r.Intn(4)
+			for h := 0; h < hops; h++ {
+				path = append(path, uint32(100+r.Intn(10)))
+			}
+			path = append(path, origin)
+			paths = append(paths, path)
+		}
+		s := Scores(paths, DefaultTrim)
+		for _, h := range s {
+			if h <= 0 || h > 1 {
+				return false
+			}
+		}
+		for asn, h := range s {
+			if asn != origin && h > s[origin]+1e-9 {
+				return false
+			}
+		}
+		return s[origin] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

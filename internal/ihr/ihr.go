@@ -1,0 +1,242 @@
+// Package ihr rebuilds the two Internet Health Report datasets the paper
+// consumes (§5.3): the prefix-origin dataset (routed prefix-origin pairs
+// with their RPKI and IRR statuses) and the transit dataset (per
+// prefix-origin, the transit ASes with their AS hegemony scores).
+//
+// The real IHR derives these from RouteViews/RIS BGP tables; here they
+// are derived the same way from the simulated BGP view: Gao–Rexford
+// propagation over the AS topology, observed from a set of vantage-point
+// ASes (the collector peers), with each network's route filtering policy
+// applied at import time.
+package ihr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"manrsmeter/internal/astopo"
+	"manrsmeter/internal/hegemony"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rov"
+)
+
+// Policy is one AS's route filtering behavior.
+type Policy struct {
+	// DropRPKIInvalid models deployed Route Origin Validation: announcements
+	// whose RPKI status is Invalid or Invalid-length are rejected at import.
+	DropRPKIInvalid bool
+	// DropIRRInvalidCustomers models IRR-based customer filtering:
+	// announcements from customers whose IRR status is Invalid (wrong
+	// origin) are rejected. Invalid-length is accepted, matching the
+	// paper's treatment of de-aggregation (§3).
+	DropIRRInvalidCustomers bool
+	// IRRFilterMissRate is the fraction of invalid customer announcements
+	// that slip through the IRR filter anyway — prefix-list filtering is
+	// built from as-sets that go stale, so real deployments leak (§3,
+	// §10: operators cite "complicated business relationships and
+	// outdated equipment"). Misses are deterministic per (importer,
+	// prefix). Zero means a perfect filter; ROV has no miss rate because
+	// routers enforce it automatically.
+	IRRFilterMissRate float64
+}
+
+// filterMisses reports whether the importer's IRR filter misses this
+// prefix, using an FNV hash so the decision is stable across runs.
+func filterMisses(importer uint32, prefix netx.Prefix, rate float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	h := fnv.New32a()
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], importer)
+	h.Write(b[:])
+	h.Write([]byte(prefix.String()))
+	return float64(h.Sum32()%1000) < rate*1000
+}
+
+// PrefixOrigin is one row of the prefix-origin dataset.
+type PrefixOrigin struct {
+	Prefix netx.Prefix
+	Origin uint32
+	RPKI   rov.Status
+	IRR    rov.Status
+}
+
+// TransitRow is one row of the transit dataset: transit AS Transit
+// carries traffic toward (Prefix, Origin) with the given hegemony.
+type TransitRow struct {
+	Prefix   netx.Prefix
+	Origin   uint32
+	Transit  uint32
+	Hegemony float64
+	RPKI     rov.Status
+	IRR      rov.Status
+	// FromCustomer reports whether Transit learned this route from a
+	// direct customer (the Action 1 denominator, Formula 6).
+	FromCustomer bool
+}
+
+// Config parameterizes dataset construction.
+type Config struct {
+	Graph *astopo.Graph
+	// RPKI and IRR classify each (prefix, origin); either may be nil,
+	// meaning "no registry" (every pair NotFound).
+	RPKI *rov.Index
+	IRR  *rov.Index
+	// Policies maps ASN → filtering policy; absent ASes filter nothing.
+	Policies map[uint32]Policy
+	// VantagePoints are the collector-peer ASes whose paths are observed.
+	VantagePoints []uint32
+	// Trim is the hegemony trimming fraction; zero means
+	// hegemony.DefaultTrim.
+	Trim float64
+	// KeepInvisible includes prefix-origin pairs seen by no vantage point.
+	// The real IHR cannot see them; the impact analysis (§9.4) relies on
+	// that censoring, so the default is false.
+	KeepInvisible bool
+}
+
+// Dataset is the pair of IHR views plus the route trees they came from.
+type Dataset struct {
+	PrefixOrigins []PrefixOrigin
+	Transits      []TransitRow
+	// Visibility counts how many vantage points saw each prefix-origin.
+	Visibility map[astopo.Origination]int
+}
+
+type treeKey struct {
+	origin uint32
+	rpki   rov.Status
+	irr    rov.Status
+}
+
+// Build constructs the dataset for every origination in the graph.
+func Build(cfg Config) (*Dataset, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("ihr: Config.Graph is required")
+	}
+	if len(cfg.VantagePoints) == 0 {
+		return nil, fmt.Errorf("ihr: at least one vantage point is required")
+	}
+	trim := cfg.Trim
+	if trim == 0 {
+		trim = hegemony.DefaultTrim
+	}
+	validate := func(ix *rov.Index, p netx.Prefix, o uint32) rov.Status {
+		if ix == nil {
+			return rov.NotFound
+		}
+		return ix.Validate(p, o)
+	}
+
+	ds := &Dataset{Visibility: make(map[astopo.Origination]int)}
+	// Propagation depends on the origin and on the pair's validation
+	// statuses (the only inputs to the filters), so trees are cached on
+	// that key — most origins have a single status combination.
+	trees := make(map[treeKey]*astopo.RouteTree)
+
+	for _, og := range cfg.Graph.Originations() {
+		rpkiS := validate(cfg.RPKI, og.Prefix, og.Origin)
+		irrS := validate(cfg.IRR, og.Prefix, og.Origin)
+		key := treeKey{og.Origin, rpkiS, irrS}
+		tree, ok := trees[key]
+		if !ok {
+			filter := makeFilter(cfg.Graph, cfg.Policies, rpkiS, irrS)
+			tree = cfg.Graph.Propagate(og.Prefix, og.Origin, filter)
+			trees[key] = tree
+		}
+
+		var paths [][]uint32
+		seen := 0
+		for _, v := range cfg.VantagePoints {
+			if path := tree.PathFrom(v); path != nil {
+				paths = append(paths, path)
+				seen++
+			}
+		}
+		ds.Visibility[og] = seen
+		if seen == 0 && !cfg.KeepInvisible {
+			continue
+		}
+		ds.PrefixOrigins = append(ds.PrefixOrigins, PrefixOrigin{
+			Prefix: og.Prefix, Origin: og.Origin, RPKI: rpkiS, IRR: irrS,
+		})
+		scores := hegemony.Scores(paths, trim)
+		for _, sc := range hegemony.Ranked(scores) {
+			if sc.ASN == og.Origin {
+				continue // trivial transit: lives in the prefix-origin dataset
+			}
+			ds.Transits = append(ds.Transits, TransitRow{
+				Prefix:       og.Prefix,
+				Origin:       og.Origin,
+				Transit:      sc.ASN,
+				Hegemony:     sc.Hegemony,
+				RPKI:         rpkiS,
+				IRR:          irrS,
+				FromCustomer: fromCustomer(tree, sc.ASN),
+			})
+		}
+	}
+	sort.Slice(ds.PrefixOrigins, func(i, j int) bool {
+		a, b := ds.PrefixOrigins[i], ds.PrefixOrigins[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		return a.Prefix.Compare(b.Prefix) < 0
+	})
+	return ds, nil
+}
+
+func fromCustomer(tree *astopo.RouteTree, asn uint32) bool {
+	info, ok := tree.Info(asn)
+	return ok && info.Class == astopo.ClassCustomer
+}
+
+// PolicyFilter returns a per-pair import-filter factory for the given
+// policies: call it with a (prefix, origin) pair's validation statuses to
+// get the astopo.ImportFilter the propagation of that pair should run
+// under. Exported so tools that re-propagate (the synthgen MRT writer)
+// apply the same policies the dataset builder does.
+func PolicyFilter(g *astopo.Graph, policies map[uint32]Policy, rpkiIx, irrIx *rov.Index) func(prefix netx.Prefix, origin uint32) astopo.ImportFilter {
+	return func(prefix netx.Prefix, origin uint32) astopo.ImportFilter {
+		rpkiS, irrS := rov.NotFound, rov.NotFound
+		if rpkiIx != nil {
+			rpkiS = rpkiIx.Validate(prefix, origin)
+		}
+		if irrIx != nil {
+			irrS = irrIx.Validate(prefix, origin)
+		}
+		return makeFilter(g, policies, rpkiS, irrS)
+	}
+}
+
+func makeFilter(g *astopo.Graph, policies map[uint32]Policy, rpkiS, irrS rov.Status) astopo.ImportFilter {
+	if len(policies) == 0 {
+		return nil
+	}
+	return func(importer, neighbor uint32, prefix netx.Prefix, origin uint32) bool {
+		pol, ok := policies[importer]
+		if !ok {
+			return true
+		}
+		if pol.DropRPKIInvalid && rpkiS.IsInvalid() {
+			return false
+		}
+		if pol.DropIRRInvalidCustomers && irrS == rov.InvalidASN && isCustomer(g, importer, neighbor) &&
+			!filterMisses(importer, prefix, pol.IRRFilterMissRate) {
+			return false
+		}
+		return true
+	}
+}
+
+func isCustomer(g *astopo.Graph, importer, neighbor uint32) bool {
+	a := g.AS(importer)
+	if a == nil {
+		return false
+	}
+	i := sort.Search(len(a.Customers), func(i int) bool { return a.Customers[i] >= neighbor })
+	return i < len(a.Customers) && a.Customers[i] == neighbor
+}

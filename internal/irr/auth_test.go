@@ -1,0 +1,165 @@
+package irr
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"testing"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpsl"
+)
+
+func routeObj(prefix, origin, mntBy string) *rpsl.Object {
+	o := &rpsl.Object{}
+	o.Add("route", prefix)
+	o.Add("origin", origin)
+	o.Add("mnt-by", mntBy)
+	o.Add("source", "TEST")
+	return o
+}
+
+func authDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase("TEST")
+	db.AddMaintainer("MAINT-A", "PLAIN-PW alpha")
+	sum := md5.Sum([]byte("bravo"))
+	db.AddMaintainer("MAINT-B", "MD5-PW "+hex.EncodeToString(sum[:]))
+	return db
+}
+
+func TestMaintainerAuthorize(t *testing.T) {
+	db := authDB(t)
+	a := db.Maintainer("maint-a") // case-insensitive lookup
+	if a == nil || !a.Authorize("alpha") {
+		t.Fatal("plain password should authorize")
+	}
+	if a.Authorize("wrong") {
+		t.Error("wrong password authorized")
+	}
+	b := db.Maintainer("MAINT-B")
+	if !b.Authorize("bravo") {
+		t.Error("md5 password should authorize")
+	}
+	if b.Authorize("alpha") {
+		t.Error("cross-maintainer password authorized")
+	}
+	if db.Maintainer("MAINT-X") != nil {
+		t.Error("unknown maintainer should be nil")
+	}
+}
+
+func TestMntnerObjectParsing(t *testing.T) {
+	db := NewDatabase("TEST")
+	o := &rpsl.Object{}
+	o.Add("mntner", "MAINT-OBJ")
+	o.Add("auth", "PLAIN-PW hunter2")
+	o.Add("source", "TEST")
+	if err := db.AddObject(o); err != nil {
+		t.Fatal(err)
+	}
+	m := db.Maintainer("MAINT-OBJ")
+	if m == nil || !m.Authorize("hunter2") {
+		t.Fatal("mntner object should register an authorizing maintainer")
+	}
+}
+
+func TestSubmitUpdateHappyPath(t *testing.T) {
+	db := authDB(t)
+	err := db.SubmitUpdate(UpdateRequest{
+		Object:   routeObj("10.0.0.0/16", "AS64500", "MAINT-A"),
+		Password: "alpha",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Routes()) != 1 || db.Routes()[0].Origin != 64500 {
+		t.Fatalf("routes = %+v", db.Routes())
+	}
+	// The same maintainer may add another origin for the same prefix.
+	err = db.SubmitUpdate(UpdateRequest{
+		Object:   routeObj("10.0.0.0/16", "AS64501", "MAINT-A"),
+		Password: "alpha",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Routes()) != 2 {
+		t.Fatalf("routes = %+v", db.Routes())
+	}
+}
+
+func TestSubmitUpdateRejections(t *testing.T) {
+	db := authDB(t)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(db.SubmitUpdate(UpdateRequest{Object: routeObj("10.0.0.0/16", "AS64500", "MAINT-A"), Password: "alpha"}))
+
+	cases := []struct {
+		name string
+		req  UpdateRequest
+	}{
+		{"nil object", UpdateRequest{}},
+		{"no mnt-by", UpdateRequest{Object: func() *rpsl.Object {
+			o := &rpsl.Object{}
+			o.Add("route", "10.1.0.0/16")
+			o.Add("origin", "AS1")
+			return o
+		}(), Password: "alpha"}},
+		{"unknown maintainer", UpdateRequest{Object: routeObj("10.1.0.0/16", "AS1", "MAINT-X"), Password: "x"}},
+		{"bad password", UpdateRequest{Object: routeObj("10.1.0.0/16", "AS1", "MAINT-A"), Password: "nope"}},
+		{"foreign takeover", UpdateRequest{Object: routeObj("10.0.0.0/16", "AS666", "MAINT-B"), Password: "bravo"}},
+	}
+	for _, c := range cases {
+		err := db.SubmitUpdate(c.req)
+		var ae *AuthError
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: err = %v, want AuthError", c.name, err)
+		}
+	}
+	// The weak spot, faithfully modeled: MAINT-B can register unclaimed
+	// space with no proof of holdership.
+	err := db.SubmitUpdate(UpdateRequest{Object: routeObj("203.0.113.0/24", "AS666", "MAINT-B"), Password: "bravo"})
+	if err != nil {
+		t.Errorf("unclaimed space registration should succeed (the historical weakness): %v", err)
+	}
+}
+
+func TestSubmitUpdateDelete(t *testing.T) {
+	db := authDB(t)
+	obj := routeObj("10.0.0.0/16", "AS64500", "MAINT-A")
+	if err := db.SubmitUpdate(UpdateRequest{Object: obj, Password: "alpha"}); err != nil {
+		t.Fatal(err)
+	}
+	// Validation sees the route...
+	reg := NewRegistry()
+	reg.AddDatabase(db)
+	p := netx.MustParsePrefix("10.0.0.0/16")
+	if got := reg.Validate(p, 64500); got.String() != "Valid" {
+		t.Fatalf("pre-delete status = %v", got)
+	}
+	// ...delete it with the right credential...
+	err := db.SubmitUpdate(UpdateRequest{Object: routeObj("10.0.0.0/16", "AS64500", "MAINT-A"), Password: "alpha", Delete: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(db.Routes()) != 0 || db.NumObjects() != 0 {
+		t.Fatalf("delete left %d routes %d objects", len(db.Routes()), db.NumObjects())
+	}
+	// ...and a fresh registry view no longer validates it.
+	reg2 := NewRegistry()
+	reg2.AddDatabase(db)
+	if got := reg2.Validate(p, 64500); got.String() != "NotFound" {
+		t.Errorf("post-delete status = %v", got)
+	}
+	// Deleting a missing object fails.
+	err = db.SubmitUpdate(UpdateRequest{Object: routeObj("10.0.0.0/16", "AS64500", "MAINT-A"), Password: "alpha", Delete: true})
+	var ae *AuthError
+	if !errors.As(err, &ae) {
+		t.Errorf("double delete = %v", err)
+	}
+}

@@ -1,0 +1,137 @@
+package irr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpsl"
+)
+
+// Policy is one parsed aut-num import or export rule from the RPSL
+// policy subset operators actually register:
+//
+//	import: from AS64500 accept AS-CUSTOMERS
+//	export: to AS64511 announce AS64500
+//
+// Only the peer ASN and the accepted/announced filter term (an AS number
+// or as-set name) are modeled; RPSL's full filter algebra is out of
+// scope, matching what filter generators like bgpq4 consume in practice.
+type Policy struct {
+	// Peer is the neighbor the rule applies to.
+	Peer uint32
+	// Filter is the AS number ("AS64500") or as-set name ("AS-CUSTOMERS")
+	// whose routes are accepted (import) or announced (export).
+	Filter string
+	// Export is false for import rules, true for export rules.
+	Export bool
+}
+
+// ParsePolicies extracts the import/export rules from an aut-num object.
+// Malformed rules are skipped and reported.
+func ParsePolicies(o *rpsl.Object) (policies []Policy, malformed []string) {
+	parse := func(value string, export bool) {
+		fields := strings.Fields(value)
+		// "from AS1 accept X" / "to AS1 announce X"
+		kw1, kw2 := "from", "accept"
+		if export {
+			kw1, kw2 = "to", "announce"
+		}
+		if len(fields) < 4 || !strings.EqualFold(fields[0], kw1) || !strings.EqualFold(fields[2], kw2) {
+			malformed = append(malformed, value)
+			return
+		}
+		peer, err := rpsl.ParseASN(fields[1])
+		if err != nil {
+			malformed = append(malformed, value)
+			return
+		}
+		policies = append(policies, Policy{
+			Peer:   peer,
+			Filter: strings.ToUpper(fields[3]),
+			Export: export,
+		})
+	}
+	for _, v := range o.GetAll("import") {
+		parse(v, false)
+	}
+	for _, v := range o.GetAll("export") {
+		parse(v, true)
+	}
+	return policies, malformed
+}
+
+// PrefixFilter is a bgpq4-style prefix list built from the IRR: the
+// exact prefixes the filter term's ASes have registered. A route passes
+// when its exact prefix+origin pair is covered.
+type PrefixFilter struct {
+	// Term is the AS or as-set the filter was built from.
+	Term string
+	// ASNs are the origins the term expanded to.
+	ASNs []uint32
+	// MissingSets lists as-set names that could not be resolved.
+	MissingSets []string
+
+	allowed map[netx.Prefix]map[uint32]bool
+}
+
+// Len returns the number of distinct prefixes in the filter.
+func (f *PrefixFilter) Len() int { return len(f.allowed) }
+
+// Permits reports whether the announcement (prefix, origin) passes: the
+// prefix must be registered to origin, and origin must be in the term's
+// expansion. This is strict prefix-list filtering — more-specifics of a
+// registered route do NOT pass, which is why de-aggregating customers
+// show up as filtered in the wild.
+func (f *PrefixFilter) Permits(prefix netx.Prefix, origin uint32) bool {
+	origins, ok := f.allowed[prefix]
+	return ok && origins[origin]
+}
+
+// Prefixes returns the filter's prefix list in canonical order — what a
+// generator would render into router configuration.
+func (f *PrefixFilter) Prefixes() []netx.Prefix {
+	out := make([]netx.Prefix, 0, len(f.allowed))
+	for p := range f.allowed {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// BuildPrefixFilter expands term (an AS number or as-set name) against
+// the registry and collects every route object registered to the
+// resulting origins — the bgpq4 workflow ("bgpq4 AS-CUSTOMERS").
+func (r *Registry) BuildPrefixFilter(term string) (*PrefixFilter, error) {
+	term = strings.ToUpper(strings.TrimSpace(term))
+	f := &PrefixFilter{Term: term, allowed: make(map[netx.Prefix]map[uint32]bool)}
+	if asn, err := rpsl.ParseASN(term); err == nil {
+		f.ASNs = []uint32{asn}
+	} else if strings.HasPrefix(term, "AS-") || strings.Contains(term, ":AS-") {
+		f.ASNs, f.MissingSets = r.ExpandASSet(term)
+		if len(f.ASNs) == 0 {
+			return nil, fmt.Errorf("irr: as-set %q expands to no AS numbers", term)
+		}
+	} else {
+		return nil, fmt.Errorf("irr: filter term %q is neither an AS number nor an as-set", term)
+	}
+	want := make(map[uint32]bool, len(f.ASNs))
+	for _, asn := range f.ASNs {
+		want[asn] = true
+	}
+	for _, db := range r.dbs {
+		for _, ro := range db.routes {
+			if !want[ro.Origin] {
+				continue
+			}
+			origins, ok := f.allowed[ro.Prefix]
+			if !ok {
+				origins = make(map[uint32]bool)
+				f.allowed[ro.Prefix] = origins
+			}
+			origins[ro.Origin] = true
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,108 @@
+package irr
+
+import (
+	"reflect"
+	"testing"
+
+	"manrsmeter/internal/netx"
+)
+
+func TestParsePolicies(t *testing.T) {
+	o := obj("aut-num", "AS64500",
+		"import", "from AS64501 accept AS-CUSTOMERS",
+		"import", "from AS64502 accept AS64502",
+		"export", "to AS64501 announce AS64500",
+		"import", "garbage rule here x",
+		"import", "from ASnope accept AS1",
+	)
+	policies, malformed := ParsePolicies(o)
+	want := []Policy{
+		{Peer: 64501, Filter: "AS-CUSTOMERS", Export: false},
+		{Peer: 64502, Filter: "AS64502", Export: false},
+		{Peer: 64501, Filter: "AS64500", Export: true},
+	}
+	if !reflect.DeepEqual(policies, want) {
+		t.Errorf("policies = %+v", policies)
+	}
+	if len(malformed) != 2 {
+		t.Errorf("malformed = %v", malformed)
+	}
+}
+
+func policyRegistry(t *testing.T) *Registry {
+	t.Helper()
+	db := NewDatabase("RADB")
+	db.AddRoute(netx.MustParsePrefix("10.1.0.0/16"), 64501)
+	db.AddRoute(netx.MustParsePrefix("10.2.0.0/16"), 64502)
+	db.AddRoute(netx.MustParsePrefix("10.2.2.0/24"), 64502)
+	db.AddRoute(netx.MustParsePrefix("10.9.0.0/16"), 64509) // not in the set
+	mustAddObj(t, db, obj("as-set", "AS-CUSTOMERS", "members", "AS64501, AS64502, AS-MISSING"))
+	reg := NewRegistry()
+	reg.AddDatabase(db)
+	return reg
+}
+
+func TestBuildPrefixFilterFromSet(t *testing.T) {
+	reg := policyRegistry(t)
+	f, err := reg.BuildPrefixFilter("as-customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f.ASNs, []uint32{64501, 64502}) {
+		t.Errorf("ASNs = %v", f.ASNs)
+	}
+	if !reflect.DeepEqual(f.MissingSets, []string{"AS-MISSING"}) {
+		t.Errorf("missing = %v", f.MissingSets)
+	}
+	if f.Len() != 3 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	tests := []struct {
+		prefix string
+		origin uint32
+		want   bool
+	}{
+		{"10.1.0.0/16", 64501, true},
+		{"10.2.0.0/16", 64502, true},
+		{"10.2.2.0/24", 64502, true},
+		{"10.1.0.0/16", 64502, false},   // wrong origin
+		{"10.1.128.0/17", 64501, false}, // more-specific: strict lists reject
+		{"10.9.0.0/16", 64509, false},   // origin outside the set
+	}
+	for _, tt := range tests {
+		if got := f.Permits(netx.MustParsePrefix(tt.prefix), tt.origin); got != tt.want {
+			t.Errorf("Permits(%s, AS%d) = %v, want %v", tt.prefix, tt.origin, got, tt.want)
+		}
+	}
+	ps := f.Prefixes()
+	if len(ps) != 3 || ps[0].String() != "10.1.0.0/16" {
+		t.Errorf("Prefixes = %v", ps)
+	}
+}
+
+func TestBuildPrefixFilterFromASN(t *testing.T) {
+	reg := policyRegistry(t)
+	f, err := reg.BuildPrefixFilter("AS64502")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Len() != 2 {
+		t.Errorf("Len = %d", f.Len())
+	}
+	if !f.Permits(netx.MustParsePrefix("10.2.0.0/16"), 64502) {
+		t.Error("registered prefix should pass")
+	}
+	if f.Permits(netx.MustParsePrefix("10.1.0.0/16"), 64501) {
+		t.Error("other AS's prefix should fail")
+	}
+}
+
+func TestBuildPrefixFilterErrors(t *testing.T) {
+	reg := policyRegistry(t)
+	if _, err := reg.BuildPrefixFilter("banana"); err == nil {
+		t.Error("non-AS non-set term should fail")
+	}
+	if _, err := reg.BuildPrefixFilter("AS-EMPTY"); err == nil {
+		t.Error("unresolvable set should fail")
+	}
+}

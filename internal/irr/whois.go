@@ -1,0 +1,241 @@
+package irr
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpsl"
+)
+
+// QueryServer answers IRRd-style queries over TCP — the protocol
+// operators' filter-building tools (bgpq4, irrtoolset) speak:
+//
+//	!gAS64500     IPv4 prefixes originated by AS64500
+//	!6AS64500     IPv6 prefixes originated by AS64500
+//	!iAS-SET      direct members of an as-set
+//	!iAS-SET,1    recursive expansion to AS numbers
+//	-x 10.0.0.0/8 exact route objects for a prefix
+//	!q            quit
+//
+// Responses use the IRRd framing: "A<len>\n<data>C\n" for data, "C\n"
+// for success without data, "D\n" for not found, "F <msg>\n" for errors.
+type QueryServer struct {
+	registry *Registry
+
+	mu sync.Mutex
+	ln net.Listener
+	wg sync.WaitGroup
+	// originV4/originV6 index route objects by origin ASN, built lazily
+	// against the registry's current contents.
+	originV4, originV6 map[uint32][]netx.Prefix
+	indexedRoutes      int
+}
+
+// NewQueryServer returns a server answering from reg.
+func NewQueryServer(reg *Registry) *QueryServer {
+	return &QueryServer{registry: reg}
+}
+
+// Listen starts serving on addr and returns the bound address.
+func (s *QueryServer) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				s.serve(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Close stops the listener and waits for connections to drain.
+func (s *QueryServer) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *QueryServer) ensureIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.registry.NumRoutes()
+	if s.originV4 != nil && n == s.indexedRoutes {
+		return
+	}
+	v4 := make(map[uint32][]netx.Prefix)
+	v6 := make(map[uint32][]netx.Prefix)
+	for _, db := range s.registry.Databases() {
+		for _, ro := range db.Routes() {
+			if ro.Prefix.Is6() {
+				v6[ro.Origin] = append(v6[ro.Origin], ro.Prefix)
+			} else {
+				v4[ro.Origin] = append(v4[ro.Origin], ro.Prefix)
+			}
+		}
+	}
+	for _, m := range []map[uint32][]netx.Prefix{v4, v6} {
+		for asn, ps := range m {
+			sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+			// Deduplicate mirrored objects.
+			out := ps[:0]
+			for i, p := range ps {
+				if i == 0 || p != ps[i-1] {
+					out = append(out, p)
+				}
+			}
+			m[asn] = out
+		}
+	}
+	s.originV4, s.originV6, s.indexedRoutes = v4, v6, n
+}
+
+func (s *QueryServer) serve(conn net.Conn) {
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 4096), 1<<20)
+	bw := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "!q" {
+			return
+		}
+		s.answer(bw, line)
+		if bw.Flush() != nil {
+			return
+		}
+	}
+}
+
+// Answer responds to a single query line; exported for direct use in
+// tests and tools without a TCP round trip.
+func (s *QueryServer) Answer(query string) string {
+	var b strings.Builder
+	bw := bufio.NewWriter(&b)
+	s.answer(bw, strings.TrimSpace(query))
+	bw.Flush()
+	return b.String()
+}
+
+func (s *QueryServer) answer(bw *bufio.Writer, line string) {
+	switch {
+	case strings.HasPrefix(line, "!g"), strings.HasPrefix(line, "!6"):
+		asn, err := rpsl.ParseASN(strings.TrimSpace(line[2:]))
+		if err != nil {
+			fmt.Fprintf(bw, "F invalid AS number\n")
+			return
+		}
+		s.ensureIndex()
+		m := s.originV4
+		if strings.HasPrefix(line, "!6") {
+			m = s.originV6
+		}
+		prefixes := m[asn]
+		if len(prefixes) == 0 {
+			fmt.Fprint(bw, "D\n")
+			return
+		}
+		var sb strings.Builder
+		for i, p := range prefixes {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(p.String())
+		}
+		sb.WriteByte('\n')
+		writeData(bw, sb.String())
+	case strings.HasPrefix(line, "!i"):
+		arg := strings.TrimSpace(line[2:])
+		recursive := false
+		if strings.HasSuffix(arg, ",1") {
+			recursive = true
+			arg = strings.TrimSuffix(arg, ",1")
+		}
+		if recursive {
+			asns, _ := s.registry.ExpandASSet(arg)
+			if len(asns) == 0 {
+				fmt.Fprint(bw, "D\n")
+				return
+			}
+			var sb strings.Builder
+			for i, a := range asns {
+				if i > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(rpsl.FormatASN(a))
+			}
+			sb.WriteByte('\n')
+			writeData(bw, sb.String())
+			return
+		}
+		set := s.registry.findASSet(strings.ToUpper(arg))
+		if set == nil {
+			fmt.Fprint(bw, "D\n")
+			return
+		}
+		writeData(bw, strings.Join(set.Members, " ")+"\n")
+	case strings.HasPrefix(line, "-x"):
+		arg := strings.TrimSpace(strings.TrimPrefix(line, "-x"))
+		prefix, err := netx.ParsePrefix(arg)
+		if err != nil {
+			fmt.Fprintf(bw, "F invalid prefix\n")
+			return
+		}
+		var sb strings.Builder
+		found := false
+		for _, db := range s.registry.Databases() {
+			for _, ro := range db.Routes() {
+				if ro.Prefix == prefix {
+					found = true
+					cls := "route"
+					if prefix.Is6() {
+						cls = "route6"
+					}
+					fmt.Fprintf(&sb, "%s: %s\norigin: %s\nsource: %s\n\n",
+						cls, ro.Prefix, rpsl.FormatASN(ro.Origin), ro.Source)
+				}
+			}
+		}
+		if !found {
+			fmt.Fprint(bw, "D\n")
+			return
+		}
+		writeData(bw, sb.String())
+	default:
+		fmt.Fprintf(bw, "F unrecognized query\n")
+	}
+}
+
+func writeData(bw *bufio.Writer, data string) {
+	fmt.Fprintf(bw, "A%d\n", len(data))
+	bw.WriteString(data)
+	fmt.Fprint(bw, "C\n")
+}

@@ -1,0 +1,107 @@
+package netx
+
+import "sort"
+
+// IPSet4 accumulates IPv4 address ranges and answers union-size and
+// intersection queries with overlap handled correctly. The paper's
+// address-space metrics (routed space per RIR, RPKI saturation, Eq. 7–8)
+// need exactly this: summing prefix sizes naively double-counts
+// de-aggregated announcements.
+//
+// The zero value is an empty set ready for use. IPSet4 is not safe for
+// concurrent mutation.
+type IPSet4 struct {
+	ranges []r4 // normalized: sorted, non-overlapping, non-adjacent
+	dirty  []r4
+}
+
+type r4 struct{ lo, hi uint64 } // [lo, hi) in uint32 address space
+
+// AddPrefix inserts an IPv4 prefix into the set. Non-IPv4 prefixes are
+// ignored (the paper's space metrics are IPv4-only).
+func (s *IPSet4) AddPrefix(p Prefix) {
+	if !p.IsValid() || !p.Is4() {
+		return
+	}
+	lo := uint64(be32(p.Addr().As4()))
+	hi := lo + uint64(p.AddressCount())
+	s.dirty = append(s.dirty, r4{lo, hi})
+}
+
+func (s *IPSet4) normalize() {
+	if len(s.dirty) == 0 {
+		return
+	}
+	all := append(s.ranges, s.dirty...)
+	s.dirty = nil
+	sort.Slice(all, func(i, j int) bool { return all[i].lo < all[j].lo })
+	out := all[:0]
+	for _, r := range all {
+		if n := len(out); n > 0 && r.lo <= out[n-1].hi {
+			if r.hi > out[n-1].hi {
+				out[n-1].hi = r.hi
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	s.ranges = out
+}
+
+// Size returns the number of addresses in the set.
+func (s *IPSet4) Size() uint64 {
+	s.normalize()
+	var n uint64
+	for _, r := range s.ranges {
+		n += r.hi - r.lo
+	}
+	return n
+}
+
+// IntersectSize returns the number of addresses present in both sets.
+func (s *IPSet4) IntersectSize(o *IPSet4) uint64 {
+	s.normalize()
+	o.normalize()
+	var n uint64
+	i, j := 0, 0
+	for i < len(s.ranges) && j < len(o.ranges) {
+		a, b := s.ranges[i], o.ranges[j]
+		lo := max64(a.lo, b.lo)
+		hi := min64(a.hi, b.hi)
+		if lo < hi {
+			n += hi - lo
+		}
+		if a.hi < b.hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// ContainsPrefix reports whether the entire prefix lies inside the set.
+func (s *IPSet4) ContainsPrefix(p Prefix) bool {
+	if !p.IsValid() || !p.Is4() {
+		return false
+	}
+	s.normalize()
+	lo := uint64(be32(p.Addr().As4()))
+	hi := lo + uint64(p.AddressCount())
+	i := sort.Search(len(s.ranges), func(i int) bool { return s.ranges[i].hi > lo })
+	return i < len(s.ranges) && s.ranges[i].lo <= lo && hi <= s.ranges[i].hi
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

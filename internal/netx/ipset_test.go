@@ -1,0 +1,135 @@
+package netx
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestIPSet4Basic(t *testing.T) {
+	var s IPSet4
+	if s.Size() != 0 {
+		t.Errorf("empty size = %d", s.Size())
+	}
+	s.AddPrefix(MustParsePrefix("10.0.0.0/8"))
+	if s.Size() != 1<<24 {
+		t.Errorf("size = %d", s.Size())
+	}
+	// Overlapping more-specific adds nothing.
+	s.AddPrefix(MustParsePrefix("10.1.0.0/16"))
+	if s.Size() != 1<<24 {
+		t.Errorf("size after nested add = %d", s.Size())
+	}
+	// Disjoint prefix adds fully.
+	s.AddPrefix(MustParsePrefix("192.0.2.0/24"))
+	if s.Size() != 1<<24+256 {
+		t.Errorf("size after disjoint add = %d", s.Size())
+	}
+	// v6 ignored.
+	s.AddPrefix(MustParsePrefix("2001:db8::/32"))
+	if s.Size() != 1<<24+256 {
+		t.Errorf("size after v6 add = %d", s.Size())
+	}
+}
+
+func TestIPSet4AdjacentMerge(t *testing.T) {
+	var s IPSet4
+	s.AddPrefix(MustParsePrefix("10.0.0.0/9"))
+	s.AddPrefix(MustParsePrefix("10.128.0.0/9"))
+	if s.Size() != 1<<24 {
+		t.Errorf("adjacent halves size = %d, want %d", s.Size(), 1<<24)
+	}
+	if !s.ContainsPrefix(MustParsePrefix("10.0.0.0/8")) {
+		t.Error("merged set should contain the whole /8")
+	}
+}
+
+func TestIPSet4Intersect(t *testing.T) {
+	var a, b IPSet4
+	a.AddPrefix(MustParsePrefix("10.0.0.0/8"))
+	b.AddPrefix(MustParsePrefix("10.255.0.0/16"))
+	b.AddPrefix(MustParsePrefix("11.0.0.0/16"))
+	if got := a.IntersectSize(&b); got != 1<<16 {
+		t.Errorf("intersect = %d, want %d", got, 1<<16)
+	}
+	if got := b.IntersectSize(&a); got != 1<<16 {
+		t.Errorf("intersect should be symmetric, got %d", got)
+	}
+	var empty IPSet4
+	if got := a.IntersectSize(&empty); got != 0 {
+		t.Errorf("intersect with empty = %d", got)
+	}
+}
+
+func TestIPSet4ContainsPrefix(t *testing.T) {
+	var s IPSet4
+	s.AddPrefix(MustParsePrefix("10.0.0.0/8"))
+	tests := []struct {
+		p    string
+		want bool
+	}{
+		{"10.0.0.0/8", true},
+		{"10.5.0.0/16", true},
+		{"9.0.0.0/8", false},
+		{"10.0.0.0/7", false}, // extends past the set
+		{"11.0.0.0/24", false},
+	}
+	for _, tt := range tests {
+		if got := s.ContainsPrefix(MustParsePrefix(tt.p)); got != tt.want {
+			t.Errorf("ContainsPrefix(%s) = %v", tt.p, got)
+		}
+	}
+	if s.ContainsPrefix(MustParsePrefix("2001:db8::/32")) {
+		t.Error("v6 prefix can never be contained")
+	}
+	if s.ContainsPrefix(Prefix{}) {
+		t.Error("invalid prefix can never be contained")
+	}
+}
+
+// Property: union size equals brute-force bitmap count for prefixes
+// inside a /16 sandbox.
+func TestIPSet4SizeMatchesBruteForce(t *testing.T) {
+	base := MustParsePrefix("192.168.0.0/16")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s IPSet4
+		covered := make(map[uint32]bool)
+		for i := 0; i < 12; i++ {
+			bits := 20 + r.Intn(13) // /20../32 inside the /16
+			sub, err := base.NthSubprefix(bits, uint64(r.Intn(16)))
+			if err != nil {
+				return false
+			}
+			s.AddPrefix(sub)
+			start := be32(sub.Addr().As4())
+			for a := uint64(0); a < uint64(sub.AddressCount()); a++ {
+				covered[start+uint32(a)] = true
+			}
+		}
+		return s.Size() == uint64(len(covered))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: IntersectSize(s, s) == Size(s).
+func TestIPSet4SelfIntersect(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s IPSet4
+		for i := 0; i < 10; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			bits := 8 + r.Intn(25)
+			p, _ := PrefixFrom(netip.AddrFrom4(a), bits)
+			s.AddPrefix(p)
+		}
+		return s.IntersectSize(&s) == s.Size()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package rov
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"manrsmeter/internal/netx"
+)
+
+func mustAdd(t *testing.T, ix *Index, prefix string, asn uint32, maxLen int) {
+	t.Helper()
+	if err := ix.Add(Authorization{Prefix: netx.MustParsePrefix(prefix), ASN: asn, MaxLength: maxLen}); err != nil {
+		t.Fatalf("Add(%s AS%d max%d): %v", prefix, asn, maxLen, err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	tests := []struct {
+		s    Status
+		want string
+	}{
+		{NotFound, "NotFound"},
+		{Valid, "Valid"},
+		{InvalidASN, "Invalid"},
+		{InvalidLength, "InvalidLength"},
+		{Status(99), "Status(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.s.String(); got != tt.want {
+			t.Errorf("String(%d) = %q, want %q", tt.s, got, tt.want)
+		}
+	}
+	if !InvalidASN.IsInvalid() || !InvalidLength.IsInvalid() {
+		t.Error("invalid variants must report IsInvalid")
+	}
+	if Valid.IsInvalid() || NotFound.IsInvalid() {
+		t.Error("Valid/NotFound must not report IsInvalid")
+	}
+}
+
+// The canonical RFC 6811 example set.
+func buildIndex(t *testing.T) *Index {
+	ix := NewIndex()
+	mustAdd(t, ix, "10.0.0.0/16", 64500, 24) // allows 10.0/16..24 by AS64500
+	mustAdd(t, ix, "10.1.0.0/16", 64501, 16) // exact-length only
+	mustAdd(t, ix, "2001:db8::/32", 64500, 48)
+	return ix
+}
+
+func TestValidate(t *testing.T) {
+	ix := buildIndex(t)
+	tests := []struct {
+		prefix string
+		asn    uint32
+		want   Status
+	}{
+		{"10.0.0.0/16", 64500, Valid},
+		{"10.0.5.0/24", 64500, Valid},         // within max length
+		{"10.0.5.0/25", 64500, InvalidLength}, // too specific
+		{"10.0.0.0/16", 64666, InvalidASN},
+		{"10.1.0.0/16", 64501, Valid},
+		{"10.1.0.0/20", 64501, InvalidLength},
+		{"10.1.0.0/20", 64500, InvalidASN},
+		{"10.2.0.0/16", 64500, NotFound},
+		{"192.0.2.0/24", 64500, NotFound},
+		{"2001:db8::/32", 64500, Valid},
+		{"2001:db8:5::/48", 64500, Valid},
+		{"2001:db8::/49", 64500, InvalidLength},
+		{"2001:db8::/40", 64999, InvalidASN},
+		{"2001:db9::/32", 64500, NotFound},
+	}
+	for _, tt := range tests {
+		p := netx.MustParsePrefix(tt.prefix)
+		if got := ix.Validate(p, tt.asn); got != tt.want {
+			t.Errorf("Validate(%s, AS%d) = %v, want %v", tt.prefix, tt.asn, got, tt.want)
+		}
+	}
+}
+
+func TestValidateMultipleAuthorizations(t *testing.T) {
+	// A prefix covered by two authorizations with different ASNs: either
+	// origin is Valid, a third is InvalidASN.
+	ix := NewIndex()
+	mustAdd(t, ix, "192.0.2.0/24", 64500, 24)
+	mustAdd(t, ix, "192.0.2.0/24", 64501, 24)
+	p := netx.MustParsePrefix("192.0.2.0/24")
+	if got := ix.Validate(p, 64500); got != Valid {
+		t.Errorf("first origin = %v", got)
+	}
+	if got := ix.Validate(p, 64501); got != Valid {
+		t.Errorf("second origin = %v", got)
+	}
+	if got := ix.Validate(p, 64502); got != InvalidASN {
+		t.Errorf("unauthorized origin = %v", got)
+	}
+}
+
+func TestInvalidLengthBeatsInvalidASN(t *testing.T) {
+	// Paper §2.3: invalid-length (with matching ASN) is reported even when
+	// other covering VRPs mismatch the ASN.
+	ix := NewIndex()
+	mustAdd(t, ix, "10.0.0.0/16", 64500, 16)
+	mustAdd(t, ix, "10.0.0.0/8", 64999, 8)
+	got := ix.Validate(netx.MustParsePrefix("10.0.0.0/24"), 64500)
+	if got != InvalidLength {
+		t.Errorf("status = %v, want InvalidLength", got)
+	}
+}
+
+func TestAS0Authorization(t *testing.T) {
+	// AS0 ROAs (paper §8.1 case study: Indonesian ISP with AS0 ROA) make
+	// every real origin InvalidASN.
+	ix := NewIndex()
+	mustAdd(t, ix, "203.0.113.0/24", 0, 24)
+	got := ix.Validate(netx.MustParsePrefix("203.0.113.0/24"), 23947)
+	if got != InvalidASN {
+		t.Errorf("AS0-covered announcement = %v, want InvalidASN", got)
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add(Authorization{}); err == nil {
+		t.Error("zero authorization should be rejected")
+	}
+	bad := Authorization{Prefix: netx.MustParsePrefix("10.0.0.0/16"), ASN: 1, MaxLength: 8}
+	if err := ix.Add(bad); err == nil {
+		t.Error("max length < prefix length should be rejected")
+	}
+	bad.MaxLength = 33
+	if err := ix.Add(bad); err == nil {
+		t.Error("max length > 32 for v4 should be rejected")
+	}
+	ok6 := Authorization{Prefix: netx.MustParsePrefix("2001:db8::/32"), ASN: 1, MaxLength: 128}
+	if err := ix.Add(ok6); err != nil {
+		t.Errorf("v6 max length 128 should be accepted: %v", err)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("Len = %d, want 1", ix.Len())
+	}
+}
+
+func TestCoveringAndAll(t *testing.T) {
+	ix := buildIndex(t)
+	cov := ix.Covering(netx.MustParsePrefix("10.0.1.0/24"))
+	if len(cov) != 1 || cov[0].ASN != 64500 {
+		t.Errorf("Covering = %v", cov)
+	}
+	all := ix.All()
+	if len(all) != 3 {
+		t.Fatalf("All len = %d", len(all))
+	}
+	// Sorted: v4 before v6, by address.
+	if !all[0].Prefix.Is4() || all[0].ASN != 64500 {
+		t.Errorf("All[0] = %v", all[0])
+	}
+	if !all[2].Prefix.Is6() {
+		t.Errorf("All[2] should be v6: %v", all[2])
+	}
+}
+
+func TestAuthorizationPermits(t *testing.T) {
+	a := Authorization{Prefix: netx.MustParsePrefix("10.0.0.0/16"), ASN: 64500, MaxLength: 20}
+	if !a.Permits(netx.MustParsePrefix("10.0.16.0/20"), 64500) {
+		t.Error("should permit /20 within max length")
+	}
+	if a.Permits(netx.MustParsePrefix("10.0.16.0/21"), 64500) {
+		t.Error("should not permit /21 beyond max length")
+	}
+	if a.Permits(netx.MustParsePrefix("10.0.16.0/20"), 64501) {
+		t.Error("should not permit other origin")
+	}
+	if a.Permits(netx.MustParsePrefix("11.0.0.0/20"), 64500) {
+		t.Error("should not permit uncovered prefix")
+	}
+}
+
+// Property: trie-backed Validate agrees with the linear reference on
+// random authorization sets and queries.
+func TestValidateMatchesLinear(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := NewIndex()
+		for i := 0; i < 30; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			bits := 8 + r.Intn(17) // /8../24
+			p, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+			maxLen := bits + r.Intn(33-bits)
+			asn := uint32(64500 + r.Intn(8))
+			if err := ix.Add(Authorization{Prefix: p, ASN: asn, MaxLength: maxLen}); err != nil {
+				return false
+			}
+		}
+		for q := 0; q < 20; q++ {
+			var a [4]byte
+			r.Read(a[:])
+			bits := 8 + r.Intn(25)
+			p, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+			asn := uint32(64500 + r.Intn(10))
+			if ix.Validate(p, asn) != ix.ValidateLinear(p, asn) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RFC 6811 monotonicity — adding authorizations never turns a
+// Valid route into anything else.
+func TestValidMonotoneUnderAdds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ix := NewIndex()
+		p := netx.MustParsePrefix("10.0.0.0/16")
+		mustAddQuick(ix, p, 64500, 16)
+		if ix.Validate(p, 64500) != Valid {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			var a [4]byte
+			r.Read(a[:])
+			bits := r.Intn(25)
+			q, _ := netx.PrefixFrom(netip.AddrFrom4(a), bits)
+			mustAddQuick(ix, q, uint32(r.Intn(70000)), bits+r.Intn(33-bits))
+			if ix.Validate(p, 64500) != Valid {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustAddQuick(ix *Index, p netx.Prefix, asn uint32, maxLen int) {
+	if err := ix.Add(Authorization{Prefix: p, ASN: asn, MaxLength: maxLen}); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,244 @@
+package rtr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"manrsmeter/internal/rpki"
+)
+
+// Server serves a VRP snapshot to RTR clients. The snapshot can be
+// swapped at runtime (a relying-party refresh); clients that issue a
+// Serial Query receive Cache Reset and re-fetch, which is the behavior
+// of a cache that keeps no deltas.
+type Server struct {
+	mu      sync.RWMutex
+	vrps    []rpki.VRP
+	serial  uint32
+	session uint16
+	// history retains recent snapshots so Serial Queries can be answered
+	// with deltas instead of a Cache Reset.
+	history []snapshotRecord
+
+	ln     net.Listener
+	closed chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server with an initial snapshot.
+func NewServer(vrps []rpki.VRP) *Server {
+	return &Server{
+		vrps:    append([]rpki.VRP(nil), vrps...),
+		serial:  1,
+		session: 0x5249, // "RI"
+		closed:  make(chan struct{}),
+	}
+}
+
+// SetVRPs replaces the snapshot and bumps the serial. The previous
+// snapshot is retained (up to maxHistory) for incremental Serial Query
+// answers.
+func (s *Server) SetVRPs(vrps []rpki.VRP) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, snapshotRecord{serial: s.serial, set: vrpSet(s.vrps)})
+	if len(s.history) > maxHistory {
+		s.history = s.history[len(s.history)-maxHistory:]
+	}
+	s.vrps = append([]rpki.VRP(nil), vrps...)
+	s.serial++
+}
+
+// Serial returns the current snapshot serial.
+func (s *Server) Serial() uint32 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.serial
+}
+
+// Listen starts accepting RTR clients on addr ("127.0.0.1:0" for an
+// ephemeral port) and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+				return // listener failed; nothing more to accept
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.serve(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for active sessions to finish
+// their current exchange.
+func (s *Server) Close() error {
+	close(s.closed)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serve handles one client connection: each query gets its response;
+// unknown PDUs get an Error Report and the connection ends.
+func (s *Server) serve(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		pdu, err := Read(br)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch pdu.Type {
+		case TypeResetQuery:
+			if err := s.sendSnapshot(bw); err != nil {
+				return err
+			}
+		case TypeSerialQuery:
+			ok, err := s.sendDelta(bw, pdu.Serial)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				// Serial too old (or never known): tell the client to reset.
+				reset := &PDU{Version: Version, Type: TypeCacheReset}
+				if err := reset.Write(bw); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+			}
+		default:
+			errPDU := &PDU{
+				Version: Version,
+				Type:    TypeErrorReport,
+				Session: ErrUnsupportedPDU,
+				Text:    fmt.Sprintf("unsupported PDU type %d", pdu.Type),
+			}
+			if err := errPDU.Write(bw); err != nil {
+				return err
+			}
+			return bw.Flush()
+		}
+	}
+}
+
+func (s *Server) sendSnapshot(bw *bufio.Writer) error {
+	s.mu.RLock()
+	vrps := s.vrps
+	serial := s.serial
+	session := s.session
+	s.mu.RUnlock()
+
+	resp := &PDU{Version: Version, Type: TypeCacheResponse, Session: session}
+	if err := resp.Write(bw); err != nil {
+		return err
+	}
+	for _, v := range vrps {
+		if err := VRPToPDU(v).Write(bw); err != nil {
+			return err
+		}
+	}
+	eod := &PDU{Version: Version, Type: TypeEndOfData, Session: session, Serial: serial}
+	if err := eod.Write(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// FetchResult is a completed snapshot fetch.
+type FetchResult struct {
+	VRPs    []rpki.VRP
+	Serial  uint32
+	Session uint16
+}
+
+// Fetch dials an RTR cache, performs a Reset Query exchange, and returns
+// the full VRP snapshot.
+func Fetch(addr string) (*FetchResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return FetchConn(conn)
+}
+
+// FetchConn runs the Reset Query exchange over an existing connection.
+func FetchConn(conn net.Conn) (*FetchResult, error) {
+	bw := bufio.NewWriter(conn)
+	q := &PDU{Version: Version, Type: TypeResetQuery}
+	if err := q.Write(bw); err != nil {
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	first, err := Read(br)
+	if err != nil {
+		return nil, err
+	}
+	if first.Type == TypeErrorReport {
+		return nil, fmt.Errorf("rtr: cache error %d: %s", first.Session, first.Text)
+	}
+	if first.Type != TypeCacheResponse {
+		return nil, fmt.Errorf("rtr: expected Cache Response, got type %d", first.Type)
+	}
+	res := &FetchResult{Session: first.Session}
+	for {
+		pdu, err := Read(br)
+		if err != nil {
+			return nil, err
+		}
+		switch pdu.Type {
+		case TypeIPv4Prefix, TypeIPv6Prefix:
+			if pdu.Flags&FlagAnnounce == 0 {
+				// Withdrawals cannot appear in a fresh snapshot.
+				return nil, fmt.Errorf("rtr: withdrawal inside snapshot")
+			}
+			v, err := PDUToVRP(pdu)
+			if err != nil {
+				return nil, err
+			}
+			res.VRPs = append(res.VRPs, v)
+		case TypeEndOfData:
+			res.Serial = pdu.Serial
+			return res, nil
+		case TypeErrorReport:
+			return nil, fmt.Errorf("rtr: cache error %d: %s", pdu.Session, pdu.Text)
+		default:
+			return nil, fmt.Errorf("rtr: unexpected PDU type %d in snapshot", pdu.Type)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package rpsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAll drives the RPSL parser with arbitrary text: it must never
+// panic, and every successfully parsed object must survive a
+// serialize→reparse cycle.
+func FuzzParseAll(f *testing.F) {
+	f.Add(sampleDB)
+	f.Add("route: 10.0.0.0/8\norigin: AS1\n")
+	f.Add("a: b\n+ cont\n# comment\n\nx: y\n")
+	f.Add(":")
+	f.Add("")
+
+	f.Fuzz(func(t *testing.T, input string) {
+		objs, err := ParseAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, o := range objs {
+			again, err := ParseAll(strings.NewReader(o.String()))
+			if err != nil {
+				t.Fatalf("serialized object fails to reparse: %v\n%s", err, o)
+			}
+			if len(again) != 1 {
+				t.Fatalf("serialized object reparses to %d objects:\n%s", len(again), o)
+			}
+			if again[0].String() != o.String() {
+				t.Fatalf("round trip changed:\n%s\nvs\n%s", o, again[0])
+			}
+		}
+	})
+}

@@ -1,0 +1,271 @@
+package rpsl
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleDB = `
+route:      192.0.2.0/24
+descr:      Example route
+origin:     AS64500
+mnt-by:     MAINT-EX
+source:     RADB
+
+# a comment between objects
+
+route6:     2001:db8::/32
+origin:     AS64500
+source:     RADB
+
+as-set:     AS-EXAMPLE
+members:    AS64500, AS64501,
++           AS64502
+members:    AS-CUSTOMERS
+source:     RADB
+
+aut-num:    AS64500
+as-name:    EXAMPLE-AS
+member-of:  AS-EXAMPLE
+source:     RADB
+`
+
+func parseSample(t *testing.T) []*Object {
+	t.Helper()
+	objs, err := ParseAll(strings.NewReader(sampleDB))
+	if err != nil {
+		t.Fatalf("ParseAll: %v", err)
+	}
+	return objs
+}
+
+func TestParseAllClassesAndKeys(t *testing.T) {
+	objs := parseSample(t)
+	if len(objs) != 4 {
+		t.Fatalf("parsed %d objects, want 4", len(objs))
+	}
+	wantClass := []string{"route", "route6", "as-set", "aut-num"}
+	wantKey := []string{"192.0.2.0/24", "2001:db8::/32", "AS-EXAMPLE", "AS64500"}
+	for i, o := range objs {
+		if o.Class() != wantClass[i] {
+			t.Errorf("obj %d class = %q, want %q", i, o.Class(), wantClass[i])
+		}
+		if o.Key() != wantKey[i] {
+			t.Errorf("obj %d key = %q, want %q", i, o.Key(), wantKey[i])
+		}
+	}
+}
+
+func TestContinuationJoining(t *testing.T) {
+	objs := parseSample(t)
+	asSet := objs[2]
+	members := asSet.GetAll("members")
+	if len(members) != 2 {
+		t.Fatalf("members attrs = %d, want 2: %v", len(members), members)
+	}
+	if members[0] != "AS64500, AS64501, AS64502" {
+		t.Errorf("continuation join = %q", members[0])
+	}
+	if members[1] != "AS-CUSTOMERS" {
+		t.Errorf("second members = %q", members[1])
+	}
+}
+
+func TestContinuationStyles(t *testing.T) {
+	// Space, tab, and '+' are all continuation markers.
+	in := "route: 10.0.0.0/8\ndescr: line1\n line2\n\tline3\n+line4\nsource: TEST\n"
+	objs, err := ParseAll(strings.NewReader(in))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("parse: %v (%d objs)", err, len(objs))
+	}
+	d, _ := objs[0].Get("descr")
+	if d != "line1 line2 line3 line4" {
+		t.Errorf("descr = %q", d)
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	in := "route: 10.0.0.0/8 # inline comment\norigin: AS1 # another\nsource: T\n"
+	objs, err := ParseAll(strings.NewReader(in))
+	if err != nil || len(objs) != 1 {
+		t.Fatalf("parse: %v", err)
+	}
+	if objs[0].Key() != "10.0.0.0/8" {
+		t.Errorf("key with comment = %q", objs[0].Key())
+	}
+	o, _ := objs[0].Get("origin")
+	if o != "AS1" {
+		t.Errorf("origin = %q", o)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, in := range []string{"", "\n\n\n", "# only comments\n\n# more\n"} {
+		objs, err := ParseAll(strings.NewReader(in))
+		if err != nil || len(objs) != 0 {
+			t.Errorf("ParseAll(%q) = %v objs, err %v", in, len(objs), err)
+		}
+	}
+}
+
+func TestSyntaxError(t *testing.T) {
+	in := "route: 10.0.0.0/8\nthis line has no colon\n"
+	_, err := ParseAll(strings.NewReader(in))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want ParseError, got %v", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("error line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Errorf("error text = %q", pe.Error())
+	}
+}
+
+func TestBadAttributeName(t *testing.T) {
+	in := "bad name: value\n"
+	_, err := ParseAll(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("attribute name with space should fail")
+	}
+}
+
+func TestParserNextEOF(t *testing.T) {
+	p := NewParser(strings.NewReader("route: 10.0.0.0/8\nsource: T\n"))
+	if _, err := p.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("second Next err = %v, want EOF", err)
+	}
+	if _, err := p.Next(); err != io.EOF {
+		t.Fatalf("repeated Next err = %v, want EOF", err)
+	}
+}
+
+func TestObjectAccessors(t *testing.T) {
+	var o Object
+	if o.Class() != "" || o.Key() != "" {
+		t.Error("empty object should have empty class/key")
+	}
+	o.Add("Route", "10.0.0.0/8")
+	o.Add("origin", "AS1")
+	if o.Class() != "route" {
+		t.Errorf("Add should lower-case names: %q", o.Class())
+	}
+	if v, ok := o.Get("origin"); !ok || v != "AS1" {
+		t.Errorf("Get = %q,%v", v, ok)
+	}
+	if _, ok := o.Get("absent"); ok {
+		t.Error("Get(absent) should report false")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	objs := parseSample(t)
+	var b strings.Builder
+	for _, o := range objs {
+		b.WriteString(o.String())
+		b.WriteByte('\n')
+	}
+	objs2, err := ParseAll(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if len(objs2) != len(objs) {
+		t.Fatalf("round trip object count %d != %d", len(objs2), len(objs))
+	}
+	for i := range objs {
+		if objs[i].String() != objs2[i].String() {
+			t.Errorf("object %d round trip:\n%s\nvs\n%s", i, objs[i], objs2[i])
+		}
+	}
+}
+
+func TestParseASN(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    uint32
+		wantErr bool
+	}{
+		{"AS64500", 64500, false},
+		{"as1", 1, false},
+		{" AS4200000000 ", 4200000000, false},
+		{"AS", 0, true},
+		{"64500", 0, true},
+		{"ASfoo", 0, true},
+		{"AS-SET", 0, true},
+		{"AS99999999999", 0, true}, // > uint32
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseASN(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseASN(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseASN(%q) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+// Property: FormatASN/ParseASN round-trip for all uint32.
+func TestASNRoundTrip(t *testing.T) {
+	f := func(asn uint32) bool {
+		got, err := ParseASN(FormatASN(asn))
+		return err == nil && got == asn
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: any object built from sane attribute pairs survives
+// String→Parse round trip.
+func TestObjectRoundTripProperty(t *testing.T) {
+	f := func(vals [][2]string) bool {
+		o := &Object{}
+		o.Add("route", "10.0.0.0/8")
+		for _, kv := range vals {
+			name := sanitizeName(kv[0])
+			val := sanitizeValue(kv[1])
+			o.Add(name, val)
+		}
+		objs, err := ParseAll(strings.NewReader(o.String()))
+		if err != nil || len(objs) != 1 {
+			return false
+		}
+		return objs[0].String() == o.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') || r == '-' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	return b.String()
+}
+
+func sanitizeValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= '!' && r <= '~' && r != '#' && r != ':' {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package manrsmeter
+
+import (
+	"fmt"
+	"io"
+
+	"manrsmeter/internal/core"
+)
+
+// ReportOptions controls RunReport.
+type ReportOptions struct {
+	// StabilityWeeks is the number of weekly snapshots for the §8.5
+	// analysis; zero means 12 (the paper's count). Stability is the most
+	// expensive experiment; set SkipStability to omit it.
+	StabilityWeeks int
+	SkipStability  bool
+	// CaseStudyCDNs / CaseStudyISPs bound Table 1; zeros mean 3 and 3.
+	CaseStudyCDNs, CaseStudyISPs int
+	// SkipExtensions omits the beyond-the-paper experiments (hijack
+	// containment); HijackIncidents sets the incident count (zero = 200).
+	SkipExtensions  bool
+	HijackIncidents int
+}
+
+// RunReport regenerates every table and figure of the paper's evaluation
+// over the given world and writes the rendered results to w.
+func RunReport(w io.Writer, world *World, opts ReportOptions) error {
+	pipe, err := core.NewPipeline(world)
+	if err != nil {
+		return err
+	}
+	return RunReportWithPipeline(w, pipe, opts)
+}
+
+// RunReportWithPipeline is RunReport over an already-built pipeline.
+func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) error {
+	if opts.CaseStudyCDNs == 0 {
+		opts.CaseStudyCDNs = 3
+	}
+	if opts.CaseStudyISPs == 0 {
+		opts.CaseStudyISPs = 3
+	}
+	out := func(s string) error {
+		_, err := fmt.Fprintln(w, s)
+		return err
+	}
+
+	sections := []func() (string, error){
+		func() (string, error) { return pipe.Fig2Growth().Render(), nil },
+		func() (string, error) { return pipe.Fig4ByRIR().Render(), nil },
+		func() (string, error) { return pipe.Finding70().Render(), nil },
+		func() (string, error) { return pipe.Fig5aRPKIOrigination().Render(), nil },
+		func() (string, error) { return pipe.Fig5bIRROrigination().Render(), nil },
+		func() (string, error) { return core.RenderAction4(pipe.Action4()), nil },
+		func() (string, error) {
+			rows, err := pipe.Table1CaseStudies(opts.CaseStudyCDNs, opts.CaseStudyISPs)
+			if err != nil {
+				return "", err
+			}
+			return core.RenderTable1(rows), nil
+		},
+		func() (string, error) {
+			if opts.SkipStability {
+				return "Finding 8.7 — stability analysis skipped (ReportOptions.SkipStability)", nil
+			}
+			res, err := pipe.Stability(opts.StabilityWeeks)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		},
+		func() (string, error) {
+			res, err := pipe.Fig6Saturation()
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		},
+		func() (string, error) { return pipe.Fig7aRPKIPropagation().Render(), nil },
+		func() (string, error) { return pipe.Fig7bIRRPropagation().Render(), nil },
+		func() (string, error) { return pipe.Fig8Unconformant().Render(), nil },
+		func() (string, error) { return core.RenderTable2(pipe.Table2Action1()), nil },
+		func() (string, error) { return pipe.Fig9Preference().Render(), nil },
+		func() (string, error) {
+			if opts.SkipExtensions {
+				return "Extension — hijack containment skipped (ReportOptions.SkipExtensions)", nil
+			}
+			n := opts.HijackIncidents
+			if n == 0 {
+				n = 200
+			}
+			res, err := pipe.HijackImpact(n, 1)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		},
+		func() (string, error) {
+			if opts.SkipExtensions {
+				return "Extension — Action 3 skipped (ReportOptions.SkipExtensions)", nil
+			}
+			return pipe.Action3().Render(), nil
+		},
+		func() (string, error) {
+			if opts.SkipExtensions {
+				return "Extension — route leaks skipped (ReportOptions.SkipExtensions)", nil
+			}
+			res, err := pipe.RouteLeaks(100, 1)
+			if err != nil {
+				return "", err
+			}
+			return res.Render(), nil
+		},
+	}
+	for _, section := range sections {
+		s, err := section()
+		if err != nil {
+			return err
+		}
+		if err := out(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
