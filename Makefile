@@ -1,0 +1,29 @@
+GO ?= go
+FUZZTIME ?= 5s
+
+.PHONY: build test race vet fuzz check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short smoke of the BGP wire-format fuzzers; raise FUZZTIME for a
+# longer soak (e.g. make fuzz FUZZTIME=2m).
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/bgp/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeAttributes$$' -fuzztime $(FUZZTIME) ./internal/bgp/wire
+
+# The pre-merge gate: vet, build, race-enabled tests, fuzz smoke.
+check:
+	FUZZTIME=$(FUZZTIME) sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

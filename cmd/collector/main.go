@@ -29,9 +29,13 @@ func main() {
 	asn := flag.Uint("asn", 65000, "collector AS number")
 	out := flag.String("out", "rib.mrt", "MRT snapshot path")
 	interval := flag.Duration("interval", 0, "periodic dump interval (0 = dump only on shutdown)")
+	holdTime := flag.Duration("hold-time", 90*time.Second, "advertised BGP hold time; silent peers are torn down and their routes withdrawn")
+	maxPeers := flag.Int("max-peers", 0, "cap on concurrent peer connections (0 = unlimited)")
 	flag.Parse()
 
-	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255})
+	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255},
+		collector.WithHoldTime(*holdTime),
+		collector.WithMaxPeers(*maxPeers))
 	addr, err := c.Listen(*listen)
 	if err != nil {
 		log.Fatal(err)

@@ -51,6 +51,12 @@ func main() {
 		registry.AddDatabase(db)
 	}
 
+	// Surface objects the merged validation index cannot hold before
+	// serving, rather than panicking mid-query.
+	if _, err := registry.Index(); err != nil {
+		log.Printf("warning: some IRR objects not indexable: %v", err)
+	}
+
 	srv := irr.NewQueryServer(registry)
 	if *query != "" {
 		fmt.Print(srv.Answer(*query))

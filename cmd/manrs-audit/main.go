@@ -116,7 +116,11 @@ func main() {
 	})
 	fmt.Printf("loaded RIB: %d peers, %d records\n\n", len(dump.Peers), len(dump.Records))
 
-	ds, err := ihr.FromMRT(dump, graph, rpkiIx, registry.Index(), 0)
+	irrIx, err := registry.Index()
+	if err != nil {
+		log.Printf("warning: some IRR objects not indexable: %v", err)
+	}
+	ds, err := ihr.FromMRT(dump, graph, rpkiIx, irrIx, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

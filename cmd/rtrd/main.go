@@ -10,12 +10,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"manrsmeter/internal/rpki"
 	"manrsmeter/internal/rpki/rtr"
@@ -27,10 +29,14 @@ func main() {
 	vrpPath := flag.String("vrps", "", "validated-ROA CSV to serve")
 	listen := flag.String("listen", "127.0.0.1:8282", "listen address")
 	fetch := flag.String("fetch", "", "act as a client: fetch a snapshot from this cache and print it")
+	retries := flag.Int("retries", 5, "with -fetch: dial attempts before giving up (cache may be restarting)")
+	timeout := flag.Duration("timeout", 30*time.Second, "with -fetch: overall fetch deadline")
 	flag.Parse()
 
 	if *fetch != "" {
-		res, err := rtr.Fetch(*fetch)
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		res, err := rtr.FetchRetry(ctx, *fetch, *retries)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,115 @@
+package bmp
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+// A Sender streaming through a faulty transport must reconnect, replay
+// the Peer Up state, and converge: every route sent after the faults
+// stop reaches the station's RIB. Corruption is deliberately absent from
+// the mix — BMP is a raw length-prefixed stream, so a flipped length
+// byte desyncs the connection until it dies, which is a transport the
+// reset fault already models; the chaos here is loss, fragmentation,
+// delay, and disconnection.
+func TestBMPChaosSenderConverges(t *testing.T) {
+	st := NewStation()
+	st.SetIdleTimeout(time.Second)
+	addr, err := st.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	inj := netx.NewFaultInjector(netx.FaultConfig{
+		Seed:          6,
+		Latency:       time.Millisecond,
+		PartialWrites: 0.5,
+		Reset:         0.1,
+		Stall:         0.05,
+		StallFor:      20 * time.Millisecond,
+	})
+	rd := &netx.Redialer{
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr.String())
+			if err != nil {
+				return nil, err
+			}
+			return inj.Conn(conn), nil
+		},
+	}
+	s := NewSenderDialer(rd, "edge-router", "chaos test feed")
+	s.WriteTimeout = time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx) }()
+
+	peer := peerHdr("192.0.2.7", 64500)
+	s.PeerUp(peer, netip.MustParseAddr("192.0.2.1"))
+
+	// Chaos phase: stream routes while the transport flakes. Messages
+	// already on a wire that then resets are legitimately lost, so
+	// nothing is asserted about these prefixes.
+	for i := 0; i < 50; i++ {
+		s.Route(peer, &wire.Update{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64500}}},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+			NLRI:    []netx.Prefix{pfx(fmt.Sprintf("10.%d.0.0/16", i))},
+		})
+		time.Sleep(2 * time.Millisecond)
+	}
+	counts := inj.Counts()
+	for _, class := range []string{netx.FaultLatency, netx.FaultPartial} {
+		if counts[class] == 0 {
+			t.Errorf("fault class %q never fired (%v)", class, counts)
+		}
+	}
+
+	// Faults stop; everything sent from here must arrive.
+	inj.Disable()
+	after := []string{"198.51.100.0/24", "203.0.113.0/24"}
+	for _, p := range after {
+		s.Route(peer, &wire.Update{
+			Origin:  wire.OriginIGP,
+			ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{64500}}},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+			NLRI:    []netx.Prefix{pfx(p)},
+		})
+	}
+	waitFor(t, func() bool {
+		for _, p := range after {
+			if len(st.RIB().Lookup(pfx(p))) != 1 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// The replayed session state also converged.
+	waitFor(t, func() bool { return st.PeersUp() == 1 })
+	if rs := st.Routers(); len(rs) != 1 || rs[0] != "edge-router" {
+		t.Errorf("routers = %v", rs)
+	}
+
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Errorf("Run = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sender did not stop on cancel")
+	}
+}

@@ -1,0 +1,152 @@
+package bmp
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+// Sender is the router side of BMP: it streams Initiation, Peer Up/Down
+// and Route Monitoring messages to a station, surviving station restarts
+// and flaky transport via a netx.Redialer. On every (re)connection it
+// replays Initiation and the Peer Up state for all currently-up peers,
+// so the station's view converges after an outage; route messages
+// produced while disconnected wait in a bounded queue (oldest dropped
+// beyond the cap — the same back-pressure choice real routers make).
+type Sender struct {
+	// SysName/SysDesc identify the monitored router in Initiation.
+	SysName, SysDesc string
+	// WriteTimeout bounds each message write (default 10s).
+	WriteTimeout time.Duration
+
+	rd *netx.Redialer
+
+	mu      sync.Mutex
+	peersUp map[netip.Addr]PeerUp
+
+	queue   chan Message
+	dropped atomic.Int64
+}
+
+// DefaultSenderQueue is the queued-message cap while disconnected.
+const DefaultSenderQueue = 4096
+
+// NewSender returns a sender that will stream to the station at addr.
+// Call Run to start the feed.
+func NewSender(addr, sysName, sysDesc string) *Sender {
+	return NewSenderDialer(&netx.Redialer{Addr: addr}, sysName, sysDesc)
+}
+
+// NewSenderDialer builds a sender around an explicit redialer, letting
+// callers tune backoff or inject a custom Dial (tests use fault-wrapped
+// pipes).
+func NewSenderDialer(rd *netx.Redialer, sysName, sysDesc string) *Sender {
+	return &Sender{
+		SysName: sysName,
+		SysDesc: sysDesc,
+		rd:      rd,
+		peersUp: make(map[netip.Addr]PeerUp),
+		queue:   make(chan Message, DefaultSenderQueue),
+	}
+}
+
+// Dropped reports how many messages were discarded because the queue
+// was full while disconnected.
+func (s *Sender) Dropped() int64 { return s.dropped.Load() }
+
+// PeerUp records a monitored session coming up and streams it.
+func (s *Sender) PeerUp(peer PeerHeader, local netip.Addr) {
+	m := PeerUp{Peer: peer, LocalAddr: local}
+	s.mu.Lock()
+	s.peersUp[peer.Addr] = m
+	s.mu.Unlock()
+	s.enqueue(&m)
+}
+
+// PeerDown records a monitored session ending and streams it.
+func (s *Sender) PeerDown(peer PeerHeader, reason byte) {
+	s.mu.Lock()
+	delete(s.peersUp, peer.Addr)
+	s.mu.Unlock()
+	s.enqueue(&PeerDown{Peer: peer, Reason: reason})
+}
+
+// Route streams one UPDATE observed from the monitored peer.
+func (s *Sender) Route(peer PeerHeader, u *wire.Update) {
+	s.enqueue(&RouteMonitoring{Peer: peer, Update: u})
+}
+
+// enqueue adds msg, evicting the oldest queued message when full.
+func (s *Sender) enqueue(msg Message) {
+	for {
+		select {
+		case s.queue <- msg:
+			return
+		default:
+		}
+		select {
+		case <-s.queue:
+			s.dropped.Add(1)
+		default:
+		}
+	}
+}
+
+// requeue puts an unsent message back without evicting (best effort).
+func (s *Sender) requeue(msg Message) {
+	select {
+	case s.queue <- msg:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Run connects to the station and streams messages until ctx is done,
+// reconnecting with exponential backoff whenever the transport fails.
+// It returns nil after a clean shutdown (Termination sent on ctx
+// cancellation) or the redialer's terminal error.
+func (s *Sender) Run(ctx context.Context) error {
+	wt := s.WriteTimeout
+	if wt <= 0 {
+		wt = 10 * time.Second
+	}
+	return s.rd.Run(ctx, func(ctx context.Context, conn net.Conn) error {
+		write := func(m Message) error {
+			_ = conn.SetWriteDeadline(time.Now().Add(wt))
+			return Write(conn, m)
+		}
+		if err := write(&Initiation{SysName: s.SysName, SysDesc: s.SysDesc}); err != nil {
+			return err
+		}
+		// Replay session state lost to the disconnection.
+		s.mu.Lock()
+		replay := make([]PeerUp, 0, len(s.peersUp))
+		for _, pu := range s.peersUp {
+			replay = append(replay, pu)
+		}
+		s.mu.Unlock()
+		for i := range replay {
+			if err := write(&replay[i]); err != nil {
+				return err
+			}
+		}
+		for {
+			select {
+			case <-ctx.Done():
+				_ = write(&Termination{Reason: "shutdown"})
+				return nil
+			case msg := <-s.queue:
+				if err := write(msg); err != nil {
+					s.requeue(msg)
+					return err
+				}
+			}
+		}
+	})
+}

@@ -2,16 +2,22 @@ package bmp
 
 import (
 	"bufio"
+	"context"
 	"net"
 	"net/netip"
 	"sync"
+	"time"
 
 	"manrsmeter/internal/bgp"
+	"manrsmeter/internal/netx"
 )
 
 // Station is a BMP monitoring station: it accepts connections from
 // monitored routers and folds their Route Monitoring streams into one
-// RIB, attributed to the monitored peers' ASNs.
+// RIB, attributed to the monitored peers' ASNs. Connections are served
+// through the netx.Server harness: per-read idle deadlines disconnect
+// routers that go silent, a malformed stream only costs its own
+// connection, and Close force-closes in-flight sessions.
 type Station struct {
 	rib *bgp.RIB
 
@@ -19,18 +25,32 @@ type Station struct {
 	routers map[string]string // sysName → sysDesc of connected routers
 	peersUp map[netip.Addr]uint32
 
-	ln net.Listener
-	wg sync.WaitGroup
+	srv *netx.Server
 }
+
+// DefaultStationIdleTimeout disconnects a router that sends nothing for
+// this long. Real stations keep sessions for months; routers are
+// expected to emit keepalive-ish traffic (stats, route churn) well
+// within it.
+const DefaultStationIdleTimeout = 5 * time.Minute
 
 // NewStation returns an empty station.
 func NewStation() *Station {
-	return &Station{
+	s := &Station{
 		rib:     bgp.NewRIB(),
 		routers: make(map[string]string),
 		peersUp: make(map[netip.Addr]uint32),
 	}
+	s.srv = &netx.Server{
+		Handler:     s.serve,
+		ReadTimeout: DefaultStationIdleTimeout,
+	}
+	return s
 }
+
+// SetIdleTimeout overrides the per-read idle deadline; call before
+// Listen/Serve. Zero disables it.
+func (s *Station) SetIdleTimeout(d time.Duration) { s.srv.ReadTimeout = d }
 
 // RIB exposes the accumulated routes.
 func (s *Station) RIB() *bgp.RIB { return s.rib }
@@ -55,41 +75,20 @@ func (s *Station) PeersUp() int {
 
 // Listen starts accepting BMP connections on addr.
 func (s *Station) Listen(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.ln = ln
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				defer conn.Close()
-				s.serve(conn)
-			}()
-		}
-	}()
-	return ln.Addr(), nil
+	return s.srv.Listen(addr)
 }
 
-// Close stops the station.
+// Serve accepts BMP connections from an existing listener.
+func (s *Station) Serve(ln net.Listener) error {
+	return s.srv.Serve(ln)
+}
+
+// Close stops the station and force-closes active sessions.
 func (s *Station) Close() error {
-	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	s.wg.Wait()
-	return err
+	return s.srv.Close()
 }
 
-func (s *Station) serve(conn net.Conn) {
+func (s *Station) serve(ctx context.Context, conn net.Conn) {
 	br := bufio.NewReader(conn)
 	for {
 		msg, err := Read(br)

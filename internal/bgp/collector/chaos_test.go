@@ -1,0 +1,134 @@
+package collector
+
+import (
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/bgp"
+	"manrsmeter/internal/bgp/wire"
+	"manrsmeter/internal/netx"
+)
+
+// chaosFaults is the full fault mix used against the collector: every
+// class the injector implements, at rates high enough that dozens of
+// handshakes hit each one.
+func chaosFaults(seed int64) netx.FaultConfig {
+	return netx.FaultConfig{
+		Seed:            seed,
+		Latency:         time.Millisecond,
+		PartialWrites:   0.5,
+		Corrupt:         0.2,
+		Reset:           0.15,
+		Stall:           0.1,
+		StallFor:        30 * time.Millisecond,
+		AcceptFailEvery: 4,
+	}
+}
+
+// chaosDial runs one best-effort peering attempt against addr: dial,
+// handshake, announce one prefix, close. Every step is allowed to fail —
+// that's the point.
+func chaosDial(addr string, asn uint32) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	sess, err := bgp.Establish(conn, bgp.Config{ASN: asn, BGPID: [4]byte{byte(asn >> 8), byte(asn), 0, 1}}, time.Second)
+	if err != nil {
+		return
+	}
+	defer sess.Close()
+	_ = sess.SendUpdate(&wire.Update{
+		Origin:  wire.OriginIGP,
+		ASPath:  []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{asn}}},
+		NextHop: netip.MustParseAddr("192.0.2.1"),
+		NLRI:    []netx.Prefix{pfx("10.0.0.0/8")},
+	})
+}
+
+// The collector must survive every fault class the injector can throw at
+// it and still serve a clean peer correctly once the faults stop.
+func TestCollectorChaosConvergence(t *testing.T) {
+	c := New(65000, [4]byte{10, 0, 0, 7}, WithHandshakeTimeout(time.Second))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := netx.NewFaultInjector(chaosFaults(1))
+	if err := c.Serve(inj.Listener(ln)); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 40; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			chaosDial(ln.Addr().String(), uint32(64600+i))
+		}(i)
+	}
+	wg.Wait()
+
+	counts := inj.Counts()
+	for _, class := range []string{netx.FaultLatency, netx.FaultPartial, netx.FaultCorrupt, netx.FaultReset, netx.FaultAcceptFail} {
+		if counts[class] == 0 {
+			t.Errorf("fault class %q never fired (%v)", class, counts)
+		}
+	}
+
+	// Faults end; a clean peer must be served correctly: the harness
+	// never abandoned the listener and no poisoned state survives.
+	inj.Disable()
+	announceAll(t, ln.Addr().String(), 64999, map[string][]uint32{
+		"192.0.2.0/24": {64999},
+	})
+	waitFor(t, func() bool { return len(c.RIB().Lookup(pfx("192.0.2.0/24"))) == 1 })
+}
+
+// 100 chaotic connect/disconnect cycles must not leak a single daemon
+// goroutine (the PR's acceptance criterion, run under -race).
+func TestCollectorChaosNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	c := New(65000, [4]byte{10, 0, 0, 8}, WithHandshakeTimeout(time.Second))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := netx.NewFaultInjector(chaosFaults(2))
+	if err := c.Serve(inj.Listener(ln)); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 10, 10 // 100 cycles total
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				chaosDial(ln.Addr().String(), uint32(64600+w*perWorker+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked after 100 chaotic cycles: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -2,14 +2,24 @@
 // accepts BGP-4 peerings, absorbs UPDATE streams into a multi-peer RIB,
 // and exports MRT TABLE_DUMP_V2 snapshots — the artifact the measurement
 // pipeline (and the real study) consumes.
+//
+// Connections are served through the netx.Server harness (panic
+// isolation, connection caps, forced close on shutdown), and sessions
+// run the RFC 4271 hold timer: a peer silent past the negotiated hold
+// time is torn down with a NOTIFICATION and its routes are withdrawn
+// from the RIB, so a dead feed cannot freeze stale routes into future
+// snapshots. Routes from peers that disconnect cleanly are retained —
+// the last-known-RIB behavior of an archival collector.
 package collector
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"net"
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manrsmeter/internal/bgp"
@@ -19,25 +29,53 @@ import (
 
 // Collector accepts peerings and accumulates routes. Create with New.
 type Collector struct {
-	cfg bgp.Config
+	cfg       bgp.Config
+	handshake time.Duration
 
 	mu    sync.Mutex
 	peers map[uint32]netip.Addr // peer ASN → peer address
 	rib   *bgp.RIB
 
-	ln     net.Listener
-	wg     sync.WaitGroup
-	closed chan struct{}
+	srv *netx.Server
+
+	// dumpSkipped counts routes skipped by DumpMRT because their peer
+	// registered after the dump's peer-table snapshot.
+	dumpSkipped atomic.Int64
+}
+
+// Option customizes a Collector.
+type Option func(*Collector)
+
+// WithHoldTime sets the hold time advertised to peers (and therefore an
+// upper bound on the negotiated value). Zero keeps the 90s default.
+func WithHoldTime(d time.Duration) Option {
+	return func(c *Collector) { c.cfg.HoldTime = d }
+}
+
+// WithHandshakeTimeout bounds the OPEN/KEEPALIVE exchange (default 10s).
+func WithHandshakeTimeout(d time.Duration) Option {
+	return func(c *Collector) { c.handshake = d }
+}
+
+// WithMaxPeers caps concurrent peer connections; excess connections are
+// refused at accept time. Zero means unlimited.
+func WithMaxPeers(n int) Option {
+	return func(c *Collector) { c.srv.MaxConns = n }
 }
 
 // New returns a collector identifying as asn.
-func New(asn uint32, bgpID [4]byte) *Collector {
-	return &Collector{
-		cfg:    bgp.Config{ASN: asn, BGPID: bgpID},
-		peers:  make(map[uint32]netip.Addr),
-		rib:    bgp.NewRIB(),
-		closed: make(chan struct{}),
+func New(asn uint32, bgpID [4]byte, opts ...Option) *Collector {
+	c := &Collector{
+		cfg:       bgp.Config{ASN: asn, BGPID: bgpID},
+		handshake: 10 * time.Second,
+		peers:     make(map[uint32]netip.Addr),
+		rib:       bgp.NewRIB(),
 	}
+	c.srv = &netx.Server{Handler: c.servePeer}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 // RIB exposes the live RIB (safe for concurrent reads).
@@ -52,68 +90,79 @@ func (c *Collector) NumPeers() int {
 
 // Listen starts accepting peers on addr and returns the bound address.
 func (c *Collector) Listen(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c.ln = ln
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			c.wg.Add(1)
-			go func() {
-				defer c.wg.Done()
-				c.servePeer(conn)
-			}()
-		}
-	}()
-	return ln.Addr(), nil
+	return c.srv.Listen(addr)
 }
 
-func (c *Collector) servePeer(conn net.Conn) {
-	sess, err := bgp.Establish(conn, c.cfg, 10*time.Second)
+// Serve accepts peers from an existing listener (chaos tests inject
+// fault-wrapped listeners here). It returns once accepting has started.
+func (c *Collector) Serve(ln net.Listener) error {
+	return c.srv.Serve(ln)
+}
+
+// peerAddr extracts the remote address of a peer connection, IPv4 or
+// IPv6. Transports without an IP remote (in-memory pipes) yield the
+// unspecified IPv4 address.
+func peerAddr(conn net.Conn) netip.Addr {
+	ra := conn.RemoteAddr()
+	if ra == nil {
+		return netip.IPv4Unspecified()
+	}
+	if tcp, ok := ra.(*net.TCPAddr); ok {
+		if a, ok := netip.AddrFromSlice(tcp.IP); ok {
+			return a.Unmap()
+		}
+	}
+	if ap, err := netip.ParseAddrPort(ra.String()); err == nil {
+		return ap.Addr().Unmap()
+	}
+	return netip.IPv4Unspecified()
+}
+
+func (c *Collector) servePeer(ctx context.Context, conn net.Conn) {
+	sess, err := bgp.Establish(conn, c.cfg, c.handshake)
 	if err != nil {
-		conn.Close()
-		return
+		return // harness closes the conn
 	}
 	defer sess.Close()
 
-	peerAddr := netip.AddrFrom4([4]byte{127, 0, 0, 1})
-	if tcp, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
-		if a, ok := netip.AddrFromSlice(tcp.IP); ok {
-			peerAddr = a.Unmap()
-		}
-	}
+	// Keep our side of the hold timer fed.
+	stopKeepalives := sess.StartKeepalives(0)
+	defer stopKeepalives()
+
 	c.mu.Lock()
-	c.peers[sess.PeerASN()] = peerAddr
+	c.peers[sess.PeerASN()] = peerAddr(conn)
 	c.mu.Unlock()
 
 	for {
 		update, err := sess.Recv()
 		if err != nil {
-			return // peer closed or errored; routes learned so far stay
+			if errors.Is(err, bgp.ErrHoldTimerExpired) {
+				// Dead feed: its routes are stale, withdraw them. The
+				// peer stays in the peer table so earlier dumps remain
+				// attributable.
+				c.rib.RemovePeer(sess.PeerASN())
+			}
+			return // otherwise routes learned so far stay (archival RIB)
 		}
 		c.rib.Apply(sess.PeerASN(), update)
 	}
 }
 
-// Close stops accepting and terminates peer sessions.
+// Close stops accepting, terminates peer sessions (including any still
+// in the handshake), and waits for their goroutines to finish.
 func (c *Collector) Close() error {
-	close(c.closed)
-	var err error
-	if c.ln != nil {
-		err = c.ln.Close()
-	}
-	c.wg.Wait()
-	return err
+	return c.srv.Close()
 }
 
+// DumpSkipped reports how many routes DumpMRT has skipped because their
+// peer registered concurrently with a dump.
+func (c *Collector) DumpSkipped() int64 { return c.dumpSkipped.Load() }
+
 // DumpMRT writes the current RIB as a TABLE_DUMP_V2 snapshot stamped ts.
+// Peers may register and announce concurrently with a dump; routes whose
+// peer is not in this dump's peer table are skipped and counted (see
+// DumpSkipped) rather than aborting the snapshot — they appear in the
+// next dump.
 func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.Time) error {
 	c.mu.Lock()
 	peerASNs := make([]uint32, 0, len(c.peers))
@@ -156,13 +205,17 @@ func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.T
 		for _, r := range routes {
 			idx, ok := peerIdx[r.PeerASN]
 			if !ok {
-				return fmt.Errorf("collector: route from unknown peer AS%d", r.PeerASN)
+				c.dumpSkipped.Add(1)
+				continue
 			}
 			entries = append(entries, mrt.RIBEntry{
 				PeerIndex:      idx,
 				OriginatedTime: ts,
 				Path:           r.Path,
 			})
+		}
+		if len(entries) == 0 {
+			continue
 		}
 		if err := mw.WriteRIB(prefix, entries); err != nil {
 			return err

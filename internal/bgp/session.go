@@ -53,8 +53,13 @@ type Config struct {
 	ASN uint32
 	// BGPID is the local BGP identifier.
 	BGPID [4]byte
-	// HoldTime is advertised in OPEN; zero means 90 seconds.
+	// HoldTime is advertised in OPEN; zero means 90 seconds. Values
+	// under one second advertise a hold time of zero, which disables
+	// the hold timer and keepalives (RFC 4271 permits zero).
 	HoldTime time.Duration
+	// WriteTimeout bounds each message write so a peer that stops
+	// reading cannot block the sender forever; zero means 10 seconds.
+	WriteTimeout time.Duration
 }
 
 // Session is an established (or establishing) BGP session over a conn.
@@ -62,6 +67,15 @@ type Config struct {
 type Session struct {
 	conn   net.Conn
 	config Config
+
+	// holdTime is the RFC 4271 §4.2 negotiated hold time: the smaller
+	// of the two advertised values, zero meaning "no hold timer".
+	holdTime     time.Duration
+	writeTimeout time.Duration
+
+	// wmu serializes message writes so the keepalive pump and update
+	// sends cannot interleave bytes on the wire.
+	wmu sync.Mutex
 
 	mu      sync.Mutex
 	state   State
@@ -74,6 +88,11 @@ type Session struct {
 // ErrSessionClosed is returned by operations on a closed session.
 var ErrSessionClosed = errors.New("bgp: session closed")
 
+// ErrHoldTimerExpired is returned by Recv when the negotiated hold time
+// passes without any message from the peer; the session is closed with
+// a Hold Timer Expired NOTIFICATION (RFC 4271 §6.5) before returning.
+var ErrHoldTimerExpired = errors.New("bgp: hold timer expired")
+
 // Establish runs the OPEN/KEEPALIVE handshake on conn and returns an
 // Established session. Both sides call Establish; the exchange is
 // symmetric. The handshake is bounded by timeout (zero means 10s).
@@ -85,7 +104,11 @@ func Establish(conn net.Conn, cfg Config, timeout time.Duration) (*Session, erro
 	if cfg.HoldTime > 0 {
 		hold = uint16(cfg.HoldTime / time.Second)
 	}
-	s := &Session{conn: conn, config: cfg, state: StateIdle}
+	wt := cfg.WriteTimeout
+	if wt == 0 {
+		wt = 10 * time.Second
+	}
+	s := &Session{conn: conn, config: cfg, state: StateIdle, writeTimeout: wt}
 
 	deadline := time.Now().Add(timeout)
 	if err := conn.SetDeadline(deadline); err != nil {
@@ -94,8 +117,17 @@ func Establish(conn net.Conn, cfg Config, timeout time.Duration) (*Session, erro
 
 	// Writes run on their own goroutine so the symmetric handshake also
 	// works over unbuffered transports (net.Pipe): both ends send their
-	// OPEN while concurrently reading the peer's.
+	// OPEN while concurrently reading the peer's. abort is closed when
+	// Establish returns without validating the peer's OPEN, so the writer
+	// never outlives a failed handshake.
 	openValidated := make(chan struct{})
+	abort := make(chan struct{})
+	validated := false
+	defer func() {
+		if !validated {
+			close(abort)
+		}
+	}()
 	writeDone := make(chan error, 1)
 	go func() {
 		if err := wire.WriteMessage(conn, wire.NewOpen(cfg.ASN, hold, cfg.BGPID)); err != nil {
@@ -104,8 +136,8 @@ func Establish(conn net.Conn, cfg Config, timeout time.Duration) (*Session, erro
 		}
 		select {
 		case <-openValidated:
-		case <-time.After(timeout):
-			writeDone <- fmt.Errorf("bgp: handshake timeout awaiting OPEN validation")
+		case <-abort:
+			writeDone <- fmt.Errorf("bgp: handshake aborted before OPEN validation")
 			return
 		}
 		if err := wire.WriteMessage(conn, &wire.Keepalive{}); err != nil {
@@ -130,6 +162,14 @@ func Establish(conn net.Conn, cfg Config, timeout time.Duration) (*Session, erro
 	}
 	s.peerASN = open.FourOctetAS()
 	s.peerID = open.BGPID
+	// RFC 4271 §4.2: the effective hold time is the smaller of the two
+	// advertised values; zero from either side disables the timer.
+	negotiated := hold
+	if open.HoldTime < negotiated {
+		negotiated = open.HoldTime
+	}
+	s.holdTime = time.Duration(negotiated) * time.Second
+	validated = true
 	close(openValidated)
 	s.state = StateOpenConfirm
 
@@ -168,6 +208,23 @@ func (s *Session) PeerASN() uint32 { return s.peerASN }
 // PeerID returns the peer's BGP identifier.
 func (s *Session) PeerID() [4]byte { return s.peerID }
 
+// HoldTime returns the negotiated hold time; zero means the hold timer
+// is disabled.
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// writeMsg serializes a message write under the write lock with the
+// session's write deadline applied.
+func (s *Session) writeMsg(m wire.Message) error {
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	if s.writeTimeout > 0 {
+		if err := s.conn.SetWriteDeadline(time.Now().Add(s.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	return wire.WriteMessage(s.conn, m)
+}
+
 // SendUpdate transmits an UPDATE message.
 func (s *Session) SendUpdate(u *wire.Update) error {
 	s.mu.Lock()
@@ -176,21 +233,40 @@ func (s *Session) SendUpdate(u *wire.Update) error {
 		return ErrSessionClosed
 	}
 	s.mu.Unlock()
-	return wire.WriteMessage(s.conn, u)
+	return s.writeMsg(u)
 }
 
 // SendKeepalive transmits a KEEPALIVE.
 func (s *Session) SendKeepalive() error {
-	return wire.WriteMessage(s.conn, &wire.Keepalive{})
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.mu.Unlock()
+	return s.writeMsg(&wire.Keepalive{})
 }
 
 // Recv blocks for the next UPDATE, transparently absorbing keepalives.
 // It returns the peer's notification as an error if one arrives, and
-// io.EOF-wrapping errors when the transport closes.
+// io.EOF-wrapping errors when the transport closes. With a nonzero
+// negotiated hold time, a peer silent past it is torn down with a Hold
+// Timer Expired NOTIFICATION and Recv returns ErrHoldTimerExpired.
 func (s *Session) Recv() (*wire.Update, error) {
 	for {
+		if s.holdTime > 0 {
+			if err := s.conn.SetReadDeadline(time.Now().Add(s.holdTime)); err != nil {
+				return nil, err
+			}
+		}
 		msg, err := wire.ReadMessage(s.conn)
 		if err != nil {
+			var ne net.Error
+			if s.holdTime > 0 && errors.As(err, &ne) && ne.Timeout() {
+				// RFC 4271 §6.5: code 4 = Hold Timer Expired.
+				_ = s.closeWithNotification(4, 0)
+				return nil, ErrHoldTimerExpired
+			}
 			return nil, err
 		}
 		switch m := msg.(type) {
@@ -211,6 +287,13 @@ func (s *Session) Recv() (*wire.Update, error) {
 
 // Close sends a Cease notification (best effort) and closes the conn.
 func (s *Session) Close() error {
+	return s.closeWithNotification(6, 0) // Cease
+}
+
+// closeWithNotification transitions to Closed, sends a best-effort
+// NOTIFICATION with the given code/subcode, and closes the transport.
+// Subsequent calls are no-ops.
+func (s *Session) closeWithNotification(code, subcode byte) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -219,10 +302,12 @@ func (s *Session) Close() error {
 	s.closed = true
 	s.state = StateClosed
 	s.mu.Unlock()
-	// Best-effort Cease; bound the write so a peer that stopped reading
-	// cannot block Close.
+	// Bound the write so a peer that stopped reading cannot block the
+	// teardown.
+	s.wmu.Lock()
 	_ = s.conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
-	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: 6}) // Cease
+	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: subcode})
+	s.wmu.Unlock()
 	return s.conn.Close()
 }
 
@@ -297,6 +382,31 @@ func (r *RIB) removeLocked(peerASN uint32, p netx.Prefix) {
 	}
 }
 
+// RemovePeer withdraws every route learned from peerASN — the RIB-side
+// teardown when a peer's session dies — and reports how many routes
+// left the table.
+func (r *RIB) RemovePeer(peerASN uint32) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before := r.n
+	for p, rs := range r.routes {
+		keep := rs[:0]
+		for _, rt := range rs {
+			if rt.PeerASN == peerASN {
+				r.n--
+			} else {
+				keep = append(keep, rt)
+			}
+		}
+		if len(keep) == 0 {
+			delete(r.routes, p)
+		} else {
+			r.routes[p] = keep
+		}
+	}
+	return before - r.n
+}
+
 // Lookup returns the routes held for exactly prefix p.
 func (r *RIB) Lookup(p netx.Prefix) []Route {
 	r.mu.RLock()
@@ -324,12 +434,18 @@ func (r *RIB) Walk(fn func(Route) bool) {
 	}
 }
 
-// StartKeepalives launches a goroutine sending KEEPALIVE every interval
-// (RFC 4271 recommends one third of the hold time). The returned stop
-// function terminates the pump; it is also safe to call after Close.
+// StartKeepalives launches a goroutine sending KEEPALIVE every interval.
+// A nonpositive interval uses one third of the negotiated hold time (the
+// RFC 4271 recommendation), or 30 seconds when the hold timer is
+// disabled. The returned stop function terminates the pump; it is also
+// safe to call after Close.
 func (s *Session) StartKeepalives(interval time.Duration) (stop func()) {
 	if interval <= 0 {
-		interval = 30 * time.Second
+		if s.holdTime > 0 {
+			interval = s.holdTime / 3
+		} else {
+			interval = 30 * time.Second
+		}
 	}
 	done := make(chan struct{})
 	var once sync.Once

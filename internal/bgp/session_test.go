@@ -2,6 +2,7 @@ package bgp
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"net/netip"
 	"testing"
@@ -363,6 +364,165 @@ func TestRIBMPReachApply(t *testing.T) {
 	rib.Apply(100, &wire.Update{MPUnreach: []netx.Prefix{pfx("2001:db8:1::/48")}})
 	if rib.Len() != 0 {
 		t.Errorf("v6 withdraw failed, len=%d", rib.Len())
+	}
+}
+
+// scriptedPeer runs the handshake by hand on conn, advertising hold
+// seconds, and returns once established. It never sends keepalives, so
+// the other side's hold timer runs out.
+func scriptedPeer(t *testing.T, conn net.Conn, hold uint16) {
+	t.Helper()
+	if err := wire.WriteMessage(conn, wire.NewOpen(64999, hold, [4]byte{9, 9, 9, 9})); err != nil {
+		t.Errorf("scripted OPEN: %v", err)
+		return
+	}
+	if _, err := wire.ReadMessage(conn); err != nil { // their OPEN
+		t.Errorf("scripted read OPEN: %v", err)
+		return
+	}
+	if err := wire.WriteMessage(conn, &wire.Keepalive{}); err != nil {
+		t.Errorf("scripted KEEPALIVE: %v", err)
+		return
+	}
+	if _, err := wire.ReadMessage(conn); err != nil { // their KEEPALIVE
+		t.Errorf("scripted read KEEPALIVE: %v", err)
+	}
+}
+
+func TestHoldTimeNegotiation(t *testing.T) {
+	c1, c2 := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		scriptedPeer(t, c2, 30)
+	}()
+	s, err := Establish(c1, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}, HoldTime: 90 * time.Second}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	defer s.Close()
+	if got := s.HoldTime(); got != 30*time.Second {
+		t.Errorf("negotiated hold = %v, want 30s (min of 90 and 30)", got)
+	}
+}
+
+func TestHoldTimerExpiryTearsDownWithNotification(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	handshaken := make(chan struct{})
+	go func() {
+		scriptedPeer(t, c2, 1) // 1s hold, then silence
+		close(handshaken)
+	}()
+	s, err := Establish(c1, Config{ASN: 65000, BGPID: [4]byte{1, 1, 1, 1}}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-handshaken
+	if s.HoldTime() != time.Second {
+		t.Fatalf("negotiated hold = %v, want 1s", s.HoldTime())
+	}
+
+	// The silent peer reads what the session sends on expiry.
+	peerGot := make(chan wire.Message, 1)
+	go func() {
+		_ = c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		msg, err := wire.ReadMessage(c2)
+		if err != nil {
+			peerGot <- nil
+			return
+		}
+		peerGot <- msg
+	}()
+
+	start := time.Now()
+	_, err = s.Recv()
+	if !errors.Is(err, ErrHoldTimerExpired) {
+		t.Fatalf("Recv = %v, want ErrHoldTimerExpired", err)
+	}
+	if d := time.Since(start); d < 900*time.Millisecond || d > 4*time.Second {
+		t.Errorf("expired after %v, want ≈1s", d)
+	}
+	if s.State() != StateClosed {
+		t.Errorf("state after expiry = %v, want Closed", s.State())
+	}
+	msg := <-peerGot
+	notif, ok := msg.(*wire.Notification)
+	if !ok {
+		t.Fatalf("peer received %T, want NOTIFICATION", msg)
+	}
+	if notif.Code != 4 {
+		t.Errorf("notification code = %d, want 4 (Hold Timer Expired)", notif.Code)
+	}
+	// Further operations fail with ErrSessionClosed.
+	if err := s.SendKeepalive(); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("SendKeepalive after expiry = %v", err)
+	}
+}
+
+func TestKeepalivesPreventHoldExpiry(t *testing.T) {
+	c1, c2 := net.Pipe()
+	type res struct {
+		s   *Session
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		s, err := Establish(c2, Config{ASN: 64501, BGPID: [4]byte{2, 2, 2, 2}, HoldTime: time.Second}, 5*time.Second)
+		ch <- res{s, err}
+	}()
+	a, err := Establish(c1, Config{ASN: 64500, BGPID: [4]byte{1, 1, 1, 1}, HoldTime: time.Second}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	b := r.s
+	defer a.Close()
+	defer b.Close()
+
+	// Both pump keepalives at hold/3; neither side may expire across
+	// several hold periods.
+	stopA := a.StartKeepalives(0)
+	defer stopA()
+	stopB := b.StartKeepalives(0)
+	defer stopB()
+
+	errs := make(chan error, 2)
+	go func() { _, err := a.Recv(); errs <- err }()
+	go func() { _, err := b.Recv(); errs <- err }()
+	select {
+	case err := <-errs:
+		t.Fatalf("session died despite keepalives: %v", err)
+	case <-time.After(2500 * time.Millisecond):
+	}
+}
+
+func TestRIBRemovePeer(t *testing.T) {
+	rib := NewRIB()
+	for i, peer := range []uint32{100, 100, 200} {
+		rib.Apply(peer, &wire.Update{
+			ASPath: []wire.ASPathSegment{{Type: wire.ASSequence, ASNs: []uint32{peer}}},
+			NLRI:   []netx.Prefix{pfx(fmt.Sprintf("10.%d.0.0/16", i))},
+		})
+	}
+	if rib.Len() != 3 {
+		t.Fatalf("len = %d", rib.Len())
+	}
+	if removed := rib.RemovePeer(100); removed != 2 {
+		t.Errorf("removed = %d, want 2", removed)
+	}
+	if rib.Len() != 1 {
+		t.Errorf("len after removal = %d, want 1", rib.Len())
+	}
+	if removed := rib.RemovePeer(100); removed != 0 {
+		t.Errorf("second removal = %d, want 0", removed)
+	}
+	if len(rib.Lookup(pfx("10.2.0.0/16"))) != 1 {
+		t.Error("peer 200's route should survive")
 	}
 }
 

@@ -10,6 +10,7 @@
 package irr
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -113,8 +114,13 @@ func (db *Database) AddObject(o *rpsl.Object) error {
 	return nil
 }
 
-// AddRoute is a convenience to register a route object directly.
-func (db *Database) AddRoute(prefix netx.Prefix, origin uint32) {
+// AddRoute is a convenience to register a route object directly. It
+// returns an error for an invalid (e.g. zero-value) prefix rather than
+// registering an object that would poison later validation.
+func (db *Database) AddRoute(prefix netx.Prefix, origin uint32) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("irr: AddRoute: invalid prefix %v", prefix)
+	}
 	o := &rpsl.Object{}
 	cls := "route"
 	if prefix.Is6() {
@@ -123,10 +129,10 @@ func (db *Database) AddRoute(prefix netx.Prefix, origin uint32) {
 	o.Add(cls, prefix.String())
 	o.Add("origin", rpsl.FormatASN(origin))
 	o.Add("source", db.Name)
-	// AddObject cannot fail here: the prefix and origin are well-formed.
 	if err := db.AddObject(o); err != nil {
-		panic(fmt.Sprintf("irr: AddRoute: %v", err))
+		return fmt.Errorf("irr: AddRoute: %w", err)
 	}
+	return nil
 }
 
 // Routes returns the parsed route objects in registration order.
@@ -172,6 +178,9 @@ type Registry struct {
 	dbs   []*Database
 	index *rov.Index
 	dirty bool
+	// rebuildErr records route objects the last rebuild could not index
+	// (joined); the index is still usable without them.
+	rebuildErr error
 }
 
 // NewRegistry returns an empty registry.
@@ -186,36 +195,47 @@ func (r *Registry) AddDatabase(db *Database) {
 // Databases returns the attached databases in attachment order.
 func (r *Registry) Databases() []*Database { return r.dbs }
 
-func (r *Registry) rebuild() {
+// rebuild re-derives the merged rov index. Route objects that cannot be
+// indexed (malformed despite ingest validation — e.g. constructed
+// directly) are skipped and reported through the returned error; the
+// index remains usable without them, so one bad object cannot take the
+// whole registry down.
+func (r *Registry) rebuild() error {
 	if !r.dirty {
-		return
+		return r.rebuildErr
 	}
 	ix := rov.NewIndex()
+	var errs []error
 	for _, db := range r.dbs {
 		for _, ro := range db.routes {
-			// Route objects passed AddObject validation, so Add cannot fail.
 			if err := ix.Add(ro.Authorization()); err != nil {
-				panic(fmt.Sprintf("irr: index rebuild: %v", err))
+				errs = append(errs, fmt.Errorf("irr: index rebuild (%s): %w", db.Name, err))
 			}
 		}
 	}
 	r.index = ix
 	r.dirty = false
+	r.rebuildErr = errors.Join(errs...)
+	return r.rebuildErr
 }
 
 // Validate classifies origin announcing prefix against all registered
 // route objects: Valid, InvalidASN, InvalidLength (more specific than a
-// registered route by the same origin), or NotFound.
+// registered route by the same origin), or NotFound. Validation is
+// best-effort against the indexable objects; Index surfaces rebuild
+// errors.
 func (r *Registry) Validate(prefix netx.Prefix, origin uint32) rov.Status {
-	r.rebuild()
+	_ = r.rebuild()
 	return r.index.Validate(prefix, origin)
 }
 
 // Index exposes the merged rov index (rebuilt if needed) for bulk
-// pipelines that classify many routes.
-func (r *Registry) Index() *rov.Index {
-	r.rebuild()
-	return r.index
+// pipelines that classify many routes. A non-nil error reports route
+// objects the rebuild had to skip; the returned index is still valid
+// for the rest.
+func (r *Registry) Index() (*rov.Index, error) {
+	err := r.rebuild()
+	return r.index, err
 }
 
 // NumRoutes returns the total route objects across all databases.

@@ -219,13 +219,23 @@ func TestRegistryIndexReuse(t *testing.T) {
 	db.AddRoute(netx.MustParsePrefix("10.0.0.0/8"), 1)
 	reg := NewRegistry()
 	reg.AddDatabase(db)
-	ix1 := reg.Index()
-	ix2 := reg.Index()
+	ix1, err := reg.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix2, err := reg.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ix1 != ix2 {
 		t.Error("Index should be cached between calls with no changes")
 	}
 	reg.AddDatabase(NewDatabase("U"))
-	if reg.Index() == ix1 {
+	ix3, err := reg.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix3 == ix1 {
 		t.Error("Index should rebuild after AddDatabase")
 	}
 }

@@ -2,11 +2,13 @@ package irr
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rpsl"
@@ -24,62 +26,59 @@ import (
 //
 // Responses use the IRRd framing: "A<len>\n<data>C\n" for data, "C\n"
 // for success without data, "D\n" for not found, "F <msg>\n" for errors.
+// Connections run on the netx.Server harness: idle clients are
+// disconnected, a query that panics the handler costs only its own
+// connection, and Close force-closes live sessions.
 type QueryServer struct {
 	registry *Registry
 
+	srv *netx.Server
+
 	mu sync.Mutex
-	ln net.Listener
-	wg sync.WaitGroup
 	// originV4/originV6 index route objects by origin ASN, built lazily
 	// against the registry's current contents.
 	originV4, originV6 map[uint32][]netx.Prefix
 	indexedRoutes      int
 }
 
+// DefaultQueryIdleTimeout disconnects whois clients idle for this long;
+// filter-building tools issue queries back-to-back.
+const DefaultQueryIdleTimeout = 2 * time.Minute
+
 // NewQueryServer returns a server answering from reg.
 func NewQueryServer(reg *Registry) *QueryServer {
-	return &QueryServer{registry: reg}
+	s := &QueryServer{registry: reg}
+	s.srv = &netx.Server{
+		ReadTimeout:  DefaultQueryIdleTimeout,
+		WriteTimeout: 30 * time.Second,
+		Handler: func(ctx context.Context, conn net.Conn) {
+			s.serve(conn)
+		},
+	}
+	return s
 }
+
+// SetIdleTimeout overrides the per-read idle deadline; call before
+// Listen/Serve. Zero disables it.
+func (s *QueryServer) SetIdleTimeout(d time.Duration) { s.srv.ReadTimeout = d }
+
+// SetMaxConns caps concurrent client connections; call before
+// Listen/Serve. Zero means unlimited.
+func (s *QueryServer) SetMaxConns(n int) { s.srv.MaxConns = n }
 
 // Listen starts serving on addr and returns the bound address.
 func (s *QueryServer) Listen(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.ln = ln
-	s.mu.Unlock()
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			s.wg.Add(1)
-			go func() {
-				defer s.wg.Done()
-				defer conn.Close()
-				s.serve(conn)
-			}()
-		}
-	}()
-	return ln.Addr(), nil
+	return s.srv.Listen(addr)
 }
 
-// Close stops the listener and waits for connections to drain.
+// Serve accepts clients from an existing listener.
+func (s *QueryServer) Serve(ln net.Listener) error {
+	return s.srv.Serve(ln)
+}
+
+// Close stops the listener and force-closes active connections.
 func (s *QueryServer) Close() error {
-	s.mu.Lock()
-	ln := s.ln
-	s.mu.Unlock()
-	var err error
-	if ln != nil {
-		err = ln.Close()
-	}
-	s.wg.Wait()
-	return err
+	return s.srv.Close()
 }
 
 func (s *QueryServer) ensureIndex() {

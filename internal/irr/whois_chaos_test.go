@@ -1,0 +1,115 @@
+package irr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/netx"
+)
+
+// The whois query server must absorb garbage queries over a faulty
+// transport and still answer a clean client correctly once the faults
+// stop.
+func TestWhoisChaosConvergence(t *testing.T) {
+	db := NewDatabase("TEST")
+	if err := db.AddRoute(netx.MustParsePrefix("10.0.0.0/8"), 64500); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRoute(netx.MustParsePrefix("192.0.2.0/24"), 64500); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	reg.AddDatabase(db)
+	s := NewQueryServer(reg)
+	s.SetIdleTimeout(500 * time.Millisecond)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := netx.NewFaultInjector(netx.FaultConfig{
+		Seed:            4,
+		Latency:         time.Millisecond,
+		PartialWrites:   0.5,
+		Corrupt:         0.2,
+		Reset:           0.2,
+		Stall:           0.1,
+		StallFor:        30 * time.Millisecond,
+		AcceptFailEvery: 3,
+	})
+	if err := s.Serve(inj.Listener(ln)); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Chaos phase: clients hammer the server with a mix of valid queries,
+	// garbage, and abrupt hangups over the faulty transport.
+	queries := []string{
+		"!gAS64500\n",
+		"!!!not a query!!!\n",
+		"-x 10.0.0.0/8\n",
+		"\x00\xff\xfe garbage bytes\n",
+		"!iAS-NOWHERE,1\n",
+		"!gASbanana\n",
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_ = conn.SetDeadline(time.Now().Add(time.Second))
+			fmt.Fprint(conn, queries[i%len(queries)])
+			_, _ = io.Copy(io.Discard, conn) // read whatever comes back
+		}(i)
+	}
+	wg.Wait()
+
+	counts := inj.Counts()
+	for _, class := range []string{netx.FaultLatency, netx.FaultPartial, netx.FaultAcceptFail} {
+		if counts[class] == 0 {
+			t.Errorf("fault class %q never fired (%v)", class, counts)
+		}
+	}
+
+	// Faults end; a clean client must get an exact, correctly framed
+	// answer.
+	inj.Disable()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := fmt.Fprint(conn, "!gAS64500\n!q\n"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantData = "10.0.0.0/8 192.0.2.0/24\n"
+	if header != fmt.Sprintf("A%d\n", len(wantData)) {
+		t.Fatalf("header = %q", header)
+	}
+	data := make([]byte, len(wantData))
+	if _, err := io.ReadFull(br, data); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != wantData {
+		t.Errorf("data = %q, want %q", data, wantData)
+	}
+	footer, err := br.ReadString('\n')
+	if err != nil || footer != "C\n" {
+		t.Errorf("footer = %q, err = %v", footer, err)
+	}
+}

@@ -1,0 +1,345 @@
+// faultnet.go implements deterministic fault injection for net.Conn and
+// net.Listener: the failure modes long-lived measurement feeds actually
+// encounter (peer latency, fragmented writes, corrupted bytes, abrupt
+// resets, silent stalls, transient accept failures) reproduced under a
+// seed so chaos tests are replayable. Production daemons never import
+// anything here at runtime; the injector sits between a real listener
+// and the netx.Server harness in tests.
+
+package netx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Fault classes, used as keys in FaultInjector.Counts.
+const (
+	FaultLatency    = "latency"
+	FaultPartial    = "partial-write"
+	FaultCorrupt    = "corrupt"
+	FaultReset      = "reset"
+	FaultStall      = "stall"
+	FaultAcceptFail = "accept-fail"
+)
+
+// FaultConfig selects which faults an injector produces and how often.
+// Probabilities are per I/O operation in [0,1]; zero disables the class.
+type FaultConfig struct {
+	// Seed makes the injection schedule reproducible.
+	Seed int64
+	// Latency delays every Read and Write by this much.
+	Latency time.Duration
+	// PartialWrites is the probability a Write is split into several
+	// small chunks with short pauses between them, exercising readers
+	// that must reassemble fragmented messages.
+	PartialWrites float64
+	// Corrupt is the probability that one byte of a Read or Write is
+	// flipped in transit.
+	Corrupt float64
+	// Reset is the probability an operation abruptly closes the
+	// connection instead of completing (TCP RST behavior).
+	Reset float64
+	// Stall is the probability a Read goes silent for StallFor before
+	// any bytes flow — a peer that stops talking without closing.
+	Stall float64
+	// StallFor is the stall duration (default 500ms).
+	StallFor time.Duration
+	// AcceptFailEvery makes every Nth Accept fail with a transient
+	// error (resource exhaustion at the listener). Zero disables.
+	AcceptFailEvery int
+}
+
+// FaultInjector wraps listeners and conns with the faults in its config.
+// All wrapped objects share one seeded schedule; Disable stops injection
+// (for the "faults end, state converges" phase of a chaos test) without
+// disturbing live connections.
+type FaultInjector struct {
+	cfg FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	counts  map[string]int
+	accepts int
+
+	disabled atomic.Bool
+}
+
+// NewFaultInjector returns an injector producing cfg's faults.
+func NewFaultInjector(cfg FaultConfig) *FaultInjector {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 500 * time.Millisecond
+	}
+	return &FaultInjector{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[string]int),
+	}
+}
+
+// Disable stops all further fault injection; in-flight sleeps finish.
+func (f *FaultInjector) Disable() { f.disabled.Store(true) }
+
+// Enable resumes fault injection after Disable.
+func (f *FaultInjector) Enable() { f.disabled.Store(false) }
+
+// Counts reports how many times each fault class fired, keyed by the
+// Fault* constants. Chaos tests use it to prove every class was hit.
+func (f *FaultInjector) Counts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// hit rolls the injector's dice for one fault class.
+func (f *FaultInjector) hit(class string, prob float64) bool {
+	if prob <= 0 || f.disabled.Load() {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rng.Float64() >= prob {
+		return false
+	}
+	f.counts[class]++
+	return true
+}
+
+func (f *FaultInjector) note(class string) {
+	f.mu.Lock()
+	f.counts[class]++
+	f.mu.Unlock()
+}
+
+// intn draws from the shared schedule.
+func (f *FaultInjector) intn(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rng.Intn(n)
+}
+
+// Listener wraps ln so accepted connections carry the injector's faults
+// and Accept itself fails transiently per AcceptFailEvery.
+func (f *FaultInjector) Listener(ln net.Listener) net.Listener {
+	return &faultListener{Listener: ln, inj: f}
+}
+
+// Conn wraps an existing connection (e.g. a dialed client side) with the
+// injector's faults.
+func (f *FaultInjector) Conn(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, inj: f, done: make(chan struct{})}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *FaultInjector
+}
+
+// errAcceptInjected is the transient error injected into Accept. It is
+// deliberately not net.ErrClosed so accept loops retry instead of
+// exiting.
+type acceptError struct{}
+
+func (acceptError) Error() string   { return "faultnet: injected accept failure" }
+func (acceptError) Timeout() bool   { return false }
+func (acceptError) Temporary() bool { return true }
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	inj := l.inj
+	if n := inj.cfg.AcceptFailEvery; n > 0 && !inj.disabled.Load() {
+		inj.mu.Lock()
+		inj.accepts++
+		fail := inj.accepts%n == 0
+		inj.mu.Unlock()
+		if fail {
+			inj.note(FaultAcceptFail)
+			return nil, acceptError{}
+		}
+	}
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return inj.Conn(conn), nil
+}
+
+// faultConn injects the configured faults around the embedded conn's
+// Read/Write. Deadlines are tracked locally so injected sleeps honor
+// them the way a kernel socket would.
+type faultConn struct {
+	net.Conn
+	inj *FaultInjector
+
+	closeOnce sync.Once
+	done      chan struct{}
+
+	dmu        sync.Mutex
+	rdeadline  time.Time
+	wdeadline  time.Time
+	brokenPipe atomic.Bool
+}
+
+// errInjectedReset mirrors the error shape of a peer reset.
+var errInjectedReset = errors.New("faultnet: connection reset by injected fault")
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.rdeadline, c.wdeadline = t, t
+	c.dmu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.rdeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.wdeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) deadline(write bool) time.Time {
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	if write {
+		return c.wdeadline
+	}
+	return c.rdeadline
+}
+
+// sleep pauses for d, waking early (with the appropriate error) if the
+// conn is closed or the relevant deadline passes first.
+func (c *faultConn) sleep(d time.Duration, write bool) error {
+	if d <= 0 {
+		return nil
+	}
+	timedOut := false
+	if dl := c.deadline(write); !dl.IsZero() {
+		if rem := time.Until(dl); rem < d {
+			if rem <= 0 {
+				return os.ErrDeadlineExceeded
+			}
+			d, timedOut = rem, true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		if timedOut {
+			return os.ErrDeadlineExceeded
+		}
+		return nil
+	case <-c.done:
+		return net.ErrClosed
+	}
+}
+
+func (c *faultConn) reset() error {
+	_ = c.Close()
+	return errInjectedReset
+}
+
+func (c *faultConn) Read(b []byte) (int, error) {
+	if c.brokenPipe.Load() {
+		return 0, errInjectedReset
+	}
+	inj := c.inj
+	if inj.hit(FaultStall, inj.cfg.Stall) {
+		if err := c.sleep(inj.cfg.StallFor, false); err != nil {
+			return 0, err
+		}
+	}
+	if inj.cfg.Latency > 0 && !inj.disabled.Load() {
+		inj.note(FaultLatency)
+		if err := c.sleep(inj.cfg.Latency, false); err != nil {
+			return 0, err
+		}
+	}
+	if inj.hit(FaultReset, inj.cfg.Reset) {
+		c.brokenPipe.Store(true)
+		return 0, c.reset()
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && inj.hit(FaultCorrupt, inj.cfg.Corrupt) {
+		b[inj.intn(n)] ^= 0xFF
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.brokenPipe.Load() {
+		return 0, errInjectedReset
+	}
+	inj := c.inj
+	if inj.cfg.Latency > 0 && !inj.disabled.Load() {
+		inj.note(FaultLatency)
+		if err := c.sleep(inj.cfg.Latency, true); err != nil {
+			return 0, err
+		}
+	}
+	if inj.hit(FaultReset, inj.cfg.Reset) {
+		c.brokenPipe.Store(true)
+		return 0, c.reset()
+	}
+	buf := b
+	if inj.hit(FaultCorrupt, inj.cfg.Corrupt) {
+		buf = append([]byte(nil), b...)
+		buf[inj.intn(len(buf))] ^= 0xFF
+	}
+	if len(buf) > 1 && inj.hit(FaultPartial, inj.cfg.PartialWrites) {
+		return c.chunkedWrite(buf)
+	}
+	n, err := c.Conn.Write(buf)
+	if err != nil {
+		return n, err
+	}
+	return len(b), nil
+}
+
+// chunkedWrite delivers buf in several small writes with short pauses,
+// so the peer observes a fragmented message. The reported count covers
+// the whole buffer to keep the io.Writer contract for callers.
+func (c *faultConn) chunkedWrite(buf []byte) (int, error) {
+	written := 0
+	for written < len(buf) {
+		chunk := 1 + c.inj.intn(len(buf)-written)
+		n, err := c.Conn.Write(buf[written : written+chunk])
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(buf) {
+			if err := c.sleep(time.Millisecond, true); err != nil {
+				return written, err
+			}
+		}
+	}
+	return written, nil
+}
+
+// String summarizes the config, useful in test failure output.
+func (cfg FaultConfig) String() string {
+	return fmt.Sprintf("faults{seed=%d lat=%v partial=%.2f corrupt=%.2f reset=%.2f stall=%.2f/%v acceptFail=1/%d}",
+		cfg.Seed, cfg.Latency, cfg.PartialWrites, cfg.Corrupt, cfg.Reset, cfg.Stall, cfg.StallFor, cfg.AcceptFailEvery)
+}

@@ -1,0 +1,216 @@
+package netx
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// tcpPair returns a connected TCP pair (client, server) so fault wrappers
+// are exercised over a real socket.
+func tcpPair(t *testing.T) (net.Conn, net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { client.Close(); r.c.Close() })
+	return client, r.c
+}
+
+func TestFaultLatencyDelaysIO(t *testing.T) {
+	client, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 1, Latency: 50 * time.Millisecond})
+	fc := inj.Conn(server)
+
+	go client.Write([]byte("hello"))
+	start := time.Now()
+	buf := make([]byte, 5)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Errorf("read returned after %v, want ≥ latency", d)
+	}
+	if inj.Counts()[FaultLatency] == 0 {
+		t.Error("latency fault not counted")
+	}
+}
+
+func TestFaultPartialWritesStillDeliverEverything(t *testing.T) {
+	client, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 42, PartialWrites: 1.0})
+	fc := inj.Conn(server)
+
+	msg := bytes.Repeat([]byte("abcdefgh"), 64)
+	done := make(chan error, 1)
+	go func() {
+		n, err := fc.Write(msg)
+		if err == nil && n != len(msg) {
+			err = errors.New("short write reported")
+		}
+		done <- err
+	}()
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Error("fragmented write corrupted payload")
+	}
+	if inj.Counts()[FaultPartial] == 0 {
+		t.Error("partial-write fault not counted")
+	}
+}
+
+func TestFaultCorruptFlipsAByte(t *testing.T) {
+	client, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 7, Corrupt: 1.0})
+	fc := inj.Conn(server)
+
+	msg := []byte("deterministic")
+	go fc.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, msg) {
+		t.Error("payload not corrupted")
+	}
+	diff := 0
+	for i := range msg {
+		if buf[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("corrupted %d bytes, want exactly 1", diff)
+	}
+}
+
+func TestFaultResetBreaksConn(t *testing.T) {
+	_, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 3, Reset: 1.0})
+	fc := inj.Conn(server)
+
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write should fail with injected reset")
+	}
+	// The conn stays broken afterwards.
+	if _, err := fc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after reset should fail")
+	}
+	if inj.Counts()[FaultReset] == 0 {
+		t.Error("reset fault not counted")
+	}
+}
+
+func TestFaultStallHonorsReadDeadline(t *testing.T) {
+	_, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 5, Stall: 1.0, StallFor: 10 * time.Second})
+	fc := inj.Conn(server)
+
+	if err := fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err := fc.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read = %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("deadline fired after %v, stall not interrupted", d)
+	}
+	if inj.Counts()[FaultStall] == 0 {
+		t.Error("stall fault not counted")
+	}
+}
+
+func TestFaultAcceptFailEvery(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	inj := NewFaultInjector(FaultConfig{Seed: 9, AcceptFailEvery: 2})
+	fln := inj.Listener(ln)
+
+	go func() {
+		for i := 0; i < 3; i++ {
+			c, err := net.Dial("tcp", ln.Addr().String())
+			if err == nil {
+				defer c.Close()
+			}
+		}
+	}()
+
+	var fails, oks int
+	for i := 0; i < 4; i++ {
+		c, err := fln.Accept()
+		if err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || errors.Is(err, net.ErrClosed) {
+				t.Fatalf("injected accept error has wrong shape: %v", err)
+			}
+			fails++
+			continue
+		}
+		c.Close()
+		oks++
+	}
+	if fails != 2 || oks != 2 {
+		t.Errorf("fails=%d oks=%d, want 2/2", fails, oks)
+	}
+	if inj.Counts()[FaultAcceptFail] != 2 {
+		t.Errorf("accept-fail count = %d", inj.Counts()[FaultAcceptFail])
+	}
+}
+
+func TestFaultDisableStopsInjection(t *testing.T) {
+	client, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 11, Corrupt: 1.0, Reset: 1.0})
+	fc := inj.Conn(server)
+	inj.Disable()
+
+	msg := []byte("clean")
+	go fc.Write(msg)
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(client, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, msg) {
+		t.Error("faults fired while disabled")
+	}
+}
+
+func TestFaultConfigString(t *testing.T) {
+	s := FaultConfig{Seed: 1, AcceptFailEvery: 4}.String()
+	if s == "" {
+		t.Fatal("empty description")
+	}
+}

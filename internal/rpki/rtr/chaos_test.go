@@ -1,0 +1,91 @@
+package rtr
+
+import (
+	"context"
+	"net"
+	"sort"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpki"
+)
+
+// The RTR cache must keep serving through injected transport chaos, and
+// a retried fetch must converge on the exact VRP snapshot once the
+// faults stop.
+func TestRTRChaosFetchConverges(t *testing.T) {
+	vrps := []rpki.VRP{
+		{Prefix: netx.MustParsePrefix("10.0.0.0/8"), ASN: 64500, MaxLength: 16},
+		{Prefix: netx.MustParsePrefix("192.0.2.0/24"), ASN: 64501, MaxLength: 24},
+		{Prefix: netx.MustParsePrefix("2001:db8::/32"), ASN: 64502, MaxLength: 48},
+	}
+	s := NewServer(vrps)
+	s.SetIdleTimeout(500 * time.Millisecond) // unstick desynced readers fast
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := netx.NewFaultInjector(netx.FaultConfig{
+		Seed:            3,
+		Latency:         time.Millisecond,
+		PartialWrites:   0.5,
+		Corrupt:         0.2,
+		Reset:           0.2,
+		Stall:           0.1,
+		StallFor:        30 * time.Millisecond,
+		AcceptFailEvery: 3,
+	})
+	if err := s.Serve(inj.Listener(ln)); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Chaos phase: fetches under fault injection. Results (including
+	// corrupted-but-parsable snapshots) are discarded; the point is that
+	// the cache itself survives.
+	for i := 0; i < 25; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		_, _ = FetchRetry(ctx, ln.Addr().String(), 2)
+		cancel()
+	}
+	counts := inj.Counts()
+	for _, class := range []string{netx.FaultLatency, netx.FaultPartial, netx.FaultAcceptFail} {
+		if counts[class] == 0 {
+			t.Errorf("fault class %q never fired (%v)", class, counts)
+		}
+	}
+
+	// Concurrently with recovery, the snapshot is refreshed — the swap
+	// must be safe alongside serving.
+	s.SetVRPs(vrps)
+
+	inj.Disable()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := FetchRetry(ctx, ln.Addr().String(), 0)
+	if err != nil {
+		t.Fatalf("post-chaos fetch: %v", err)
+	}
+	if res.Serial != s.Serial() {
+		t.Errorf("serial = %d, want %d", res.Serial, s.Serial())
+	}
+	got := append([]rpki.VRP(nil), res.VRPs...)
+	want := append([]rpki.VRP(nil), vrps...)
+	for _, set := range [][]rpki.VRP{got, want} {
+		sort.Slice(set, func(i, j int) bool {
+			if c := set[i].Prefix.Compare(set[j].Prefix); c != 0 {
+				return c < 0
+			}
+			return set[i].ASN < set[j].ASN
+		})
+	}
+	if len(got) != len(want) {
+		t.Fatalf("VRPs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("VRP[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

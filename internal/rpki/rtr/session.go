@@ -2,18 +2,28 @@ package rtr
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
+	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rpki"
 )
+
+// DefaultIdleTimeout disconnects RTR clients that send no query for
+// this long; relying parties poll far more often (RFC 8210 suggests
+// refresh intervals of minutes).
+const DefaultIdleTimeout = 5 * time.Minute
 
 // Server serves a VRP snapshot to RTR clients. The snapshot can be
 // swapped at runtime (a relying-party refresh); clients that issue a
 // Serial Query receive Cache Reset and re-fetch, which is the behavior
-// of a cache that keeps no deltas.
+// of a cache that keeps no deltas. Connections run on the netx.Server
+// harness: idle clients are disconnected, a malformed query costs only
+// its own connection, and Close force-closes live sessions.
 type Server struct {
 	mu      sync.RWMutex
 	vrps    []rpki.VRP
@@ -23,20 +33,33 @@ type Server struct {
 	// with deltas instead of a Cache Reset.
 	history []snapshotRecord
 
-	ln     net.Listener
-	closed chan struct{}
-	wg     sync.WaitGroup
+	srv *netx.Server
 }
 
 // NewServer returns a server with an initial snapshot.
 func NewServer(vrps []rpki.VRP) *Server {
-	return &Server{
+	s := &Server{
 		vrps:    append([]rpki.VRP(nil), vrps...),
 		serial:  1,
 		session: 0x5249, // "RI"
-		closed:  make(chan struct{}),
 	}
+	s.srv = &netx.Server{
+		ReadTimeout:  DefaultIdleTimeout,
+		WriteTimeout: 30 * time.Second,
+		Handler: func(ctx context.Context, conn net.Conn) {
+			_ = s.serve(conn)
+		},
+	}
+	return s
 }
+
+// SetIdleTimeout overrides the per-read idle deadline; call before
+// Listen/Serve. Zero disables it.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.srv.ReadTimeout = d }
+
+// SetMaxConns caps concurrent client connections; call before
+// Listen/Serve. Zero means unlimited.
+func (s *Server) SetMaxConns(n int) { s.srv.MaxConns = n }
 
 // SetVRPs replaces the snapshot and bumps the serial. The previous
 // snapshot is retained (up to maxHistory) for incremental Serial Query
@@ -62,47 +85,17 @@ func (s *Server) Serial() uint32 {
 // Listen starts accepting RTR clients on addr ("127.0.0.1:0" for an
 // ephemeral port) and returns the bound address.
 func (s *Server) Listen(addr string) (net.Addr, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	s.ln = ln
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return ln.Addr(), nil
+	return s.srv.Listen(addr)
 }
 
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			select {
-			case <-s.closed:
-				return
-			default:
-				return // listener failed; nothing more to accept
-			}
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			defer conn.Close()
-			_ = s.serve(conn)
-		}()
-	}
+// Serve accepts RTR clients from an existing listener.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.srv.Serve(ln)
 }
 
-// Close stops the listener and waits for active sessions to finish
-// their current exchange.
+// Close stops the listener and force-closes active sessions.
 func (s *Server) Close() error {
-	close(s.closed)
-	var err error
-	if s.ln != nil {
-		err = s.ln.Close()
-	}
-	s.wg.Wait()
-	return err
+	return s.srv.Close()
 }
 
 // serve handles one client connection: each query gets its response;
@@ -192,6 +185,34 @@ func Fetch(addr string) (*FetchResult, error) {
 	}
 	defer conn.Close()
 	return FetchConn(conn)
+}
+
+// FetchRetry fetches a snapshot like Fetch but survives a flapping or
+// restarting cache: dial failures and broken exchanges are retried with
+// exponential backoff (via netx.Redialer) until the exchange succeeds,
+// attempts are exhausted, or ctx is done. attempts <= 0 retries until
+// ctx expires; give the context a deadline in that case.
+func FetchRetry(ctx context.Context, addr string, attempts int) (*FetchResult, error) {
+	rd := &netx.Redialer{Addr: addr, MaxAttempts: attempts}
+	return fetchRedial(ctx, rd)
+}
+
+// fetchRedial runs the Reset Query exchange through an explicit
+// redialer (tests inject fault-wrapped dialers).
+func fetchRedial(ctx context.Context, rd *netx.Redialer) (*FetchResult, error) {
+	var res *FetchResult
+	err := rd.Run(ctx, func(ctx context.Context, conn net.Conn) error {
+		r, err := FetchConn(conn)
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // FetchConn runs the Reset Query exchange over an existing connection.

@@ -236,7 +236,9 @@ func (w *World) populateAS(rng *rand.Rand, info *asInfo, alloc *allocator, irrDB
 		return err
 	}
 	// Realize IRR state through route objects.
-	w.realizeIRR(rng, info, block, plans, stale, irrDBs, radb)
+	if err := w.realizeIRR(rng, info, block, plans, stale, irrDBs, radb); err != nil {
+		return err
+	}
 
 	return nil
 }
@@ -478,12 +480,17 @@ func (w *World) realizeRPKI(rng *rand.Rand, info *asInfo, block netx.Prefix, pla
 	return nil
 }
 
-func (w *World) realizeIRR(rng *rand.Rand, info *asInfo, block netx.Prefix, plans []prefixPlan, stale bool, irrDBs map[rpki.RIR]*irr.Database, radb *irr.Database) {
+func (w *World) realizeIRR(rng *rand.Rand, info *asInfo, block netx.Prefix, plans []prefixPlan, stale bool, irrDBs map[rpki.RIR]*irr.Database, radb *irr.Database) error {
 	auth := irrDBs[info.rir]
+	var addErr error
 	add := func(p netx.Prefix, origin uint32) {
-		auth.AddRoute(p, origin)
+		if err := auth.AddRoute(p, origin); err != nil && addErr == nil {
+			addErr = err
+		}
 		if rng.Float64() < 0.5 { // mirrored into RADB
-			radb.AddRoute(p, origin)
+			if err := radb.AddRoute(p, origin); err != nil && addErr == nil {
+				addErr = err
+			}
 		}
 	}
 	// Stale large networks (Finding 8.2: RPKI adopters leaving IRR
@@ -507,6 +514,7 @@ func (w *World) realizeIRR(rng *rand.Rand, info *asInfo, block netx.Prefix, plan
 			add(plan.prefix, w.wrongOrigin(rng, info))
 		}
 	}
+	return addErr
 }
 
 // populateContacts fills the PeeringDB-style registry (Action 3):
@@ -630,7 +638,11 @@ func (w *World) IndexesAt(t time.Time) (rpkiIx, irrIx *rov.Index, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	return rpkiIx, w.IRRRegistry.Index(), nil
+	irrIx, err = w.IRRRegistry.Index()
+	if err != nil {
+		return nil, nil, err
+	}
+	return rpkiIx, irrIx, nil
 }
 
 // DatasetAt builds the IHR view of the world as of t: snapshot the

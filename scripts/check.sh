@@ -1,0 +1,28 @@
+#!/bin/sh
+# Pre-merge check: everything a change must pass before it lands.
+# Run from the repository root (or via `make check`).
+#
+#   vet    — static analysis
+#   build  — every package and command compiles
+#   race   — full test suite under the race detector (includes the
+#            chaos suites driving each daemon through injected faults)
+#   fuzz   — short smoke of the BGP wire-format fuzzers, so decoder
+#            regressions on malformed input surface before merge
+set -eu
+
+FUZZTIME="${FUZZTIME:-5s}"
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> fuzz smoke (${FUZZTIME} per target)"
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
+go test -run '^$' -fuzz '^FuzzDecodeAttributes$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
+
+echo "==> all checks passed"
