@@ -116,6 +116,8 @@ type (
 	Pipeline = core.Pipeline
 	// Cohort is one of the six comparison groups (size class × membership).
 	Cohort = core.Cohort
+	// PipelineOptions tunes pipeline construction (worker-pool sizing).
+	PipelineOptions = core.Options
 	// Dataset is the IHR-style view: prefix-origin and transit datasets.
 	Dataset = ihr.Dataset
 	// FilterPolicy is one AS's route filtering behavior.
@@ -132,6 +134,14 @@ func GenerateWorld(cfg Config) (*World, error) { return synth.Generate(cfg) }
 // NewPipeline prepares the experiment pipeline (builds the headline
 // dataset and per-AS metrics).
 func NewPipeline(w *World) (*Pipeline, error) { return core.NewPipeline(w) }
+
+// NewPipelineWith is NewPipeline with explicit options, e.g. a bounded
+// worker pool:
+//
+//	pipe, err := manrsmeter.NewPipelineWith(world, manrsmeter.PipelineOptions{Workers: 4})
+func NewPipelineWith(w *World, opts PipelineOptions) (*Pipeline, error) {
+	return core.NewPipelineWith(w, opts)
+}
 
 // ComputeMetrics aggregates a dataset into per-AS metrics (Formulas 1–6).
 func ComputeMetrics(ds *Dataset) map[uint32]*ASMetrics { return manrs.ComputeMetrics(ds) }

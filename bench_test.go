@@ -13,6 +13,7 @@ import (
 	"io"
 	"math/rand"
 	"net/netip"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -238,11 +239,37 @@ func BenchmarkDatasetBuild(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	asOf := world.Date(world.Config.EndYear)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := world.DatasetAt(world.Date(world.Config.EndYear)); err != nil {
+		// BuildDatasetAt bypasses the DatasetAt memoization cache, so every
+		// iteration measures a full serial build.
+		if _, err := world.BuildDatasetAt(asOf, 1); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBuildDatasetParallel measures the same full build across
+// worker counts; compare against workers=1 for the parallel speedup.
+func BenchmarkBuildDatasetParallel(b *testing.B) {
+	world, err := synth.Generate(benchConfig(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	asOf := world.Date(world.Config.EndYear)
+	counts := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := world.BuildDatasetAt(asOf, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

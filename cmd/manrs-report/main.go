@@ -5,13 +5,16 @@
 // Usage:
 //
 //	manrs-report [-seed N] [-scale small|full] [-skip-stability] [-weeks N]
+//	             [-workers N] [-trace] [-cpuprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"manrsmeter"
@@ -24,30 +27,59 @@ func main() {
 	scale := flag.String("scale", "full", "world scale: small | full")
 	skipStability := flag.Bool("skip-stability", false, "skip the §8.5 weekly-snapshot analysis")
 	weeks := flag.Int("weeks", 12, "weekly snapshots for the stability analysis")
+	workers := flag.Int("workers", 0, "worker goroutines for the analysis (0 = one per CPU)")
+	trace := flag.Bool("trace", false, "print per-section wall times to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flag.Parse()
 
-	cfg := manrsmeter.DefaultConfig(*seed)
-	if *scale == "small" {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	if err := run(*seed, *scale, *skipStability, *weeks, *workers, *trace); err != nil {
+		pprof.StopCPUProfile() // flush before the non-deferred exit
+		log.Fatal(err)
+	}
+}
+
+func run(seed int64, scale string, skipStability bool, weeks, workers int, trace bool) error {
+	cfg := manrsmeter.DefaultConfig(seed)
+	if scale == "small" {
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
 		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
-	} else if *scale != "full" {
-		log.Fatalf("unknown -scale %q (want small or full)", *scale)
+	} else if scale != "full" {
+		return fmt.Errorf("unknown -scale %q (want small or full)", scale)
 	}
 
 	start := time.Now()
 	world, err := manrsmeter.GenerateWorld(cfg)
 	if err != nil {
-		log.Fatalf("generate world: %v", err)
+		return fmt.Errorf("generate world: %w", err)
 	}
 	fmt.Printf("generated synthetic Internet: %d ASes, %d MANRS members, %d ROAs, %d IRR objects (%.1fs)\n\n",
 		world.Graph.NumASes(), world.MANRS.Len(), world.Repo.NumROAs(),
 		world.IRRRegistry.NumRoutes(), time.Since(start).Seconds())
 
+	var traceW io.Writer
+	if trace {
+		traceW = os.Stderr
+	}
 	err = manrsmeter.RunReport(os.Stdout, world, manrsmeter.ReportOptions{
-		SkipStability:  *skipStability,
-		StabilityWeeks: *weeks,
+		SkipStability:  skipStability,
+		StabilityWeeks: weeks,
+		Workers:        workers,
+		Trace:          traceW,
 	})
 	if err != nil {
-		log.Fatalf("report: %v", err)
+		return fmt.Errorf("report: %w", err)
 	}
+	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rpki"
@@ -49,13 +50,22 @@ type Org struct {
 }
 
 // Graph is the AS-level topology. The zero value is not usable; call
-// NewGraph. Graph is not safe for concurrent mutation.
+// NewGraph.
+//
+// Concurrency contract: once a Graph is fully built, any number of
+// goroutines may read it concurrently — Propagate, PropagateBatch,
+// CustomerCone, the writers, and every other non-mutating method are
+// safe in parallel (the lazily-built dense adjacency is guarded
+// internally). Mutations (AddAS, SetProviderCustomer, SetPeer,
+// Originate, the Read* loaders, and writes to AS field slices) require
+// exclusive access.
 type Graph struct {
 	ases map[uint32]*AS
 	orgs map[string]*Org
-	// adj caches the dense adjacency used by Propagate; invalidated on
-	// topology mutation.
-	adj *dense
+	// adjMu guards adj: the dense adjacency used by Propagate, built
+	// lazily on first use and invalidated on topology mutation.
+	adjMu sync.Mutex
+	adj   *dense
 }
 
 // NewGraph returns an empty topology.
@@ -71,7 +81,7 @@ func (g *Graph) AddAS(asn uint32, orgID, orgName, cc string, rir rpki.RIR) *AS {
 	}
 	a := &AS{ASN: asn, OrgID: orgID, RIR: rir, CC: cc}
 	g.ases[asn] = a
-	g.adj = nil
+	g.invalidateAdj()
 	o, ok := g.orgs[orgID]
 	if !ok {
 		o = &Org{ID: orgID, Name: orgName, CC: cc}
@@ -133,7 +143,7 @@ func (g *Graph) SetProviderCustomer(provider, customer uint32) error {
 	}
 	p.Customers = insertSorted(p.Customers, customer)
 	c.Providers = insertSorted(c.Providers, provider)
-	g.adj = nil
+	g.invalidateAdj()
 	return nil
 }
 
@@ -148,8 +158,14 @@ func (g *Graph) SetPeer(a, b uint32) error {
 	}
 	pa.Peers = insertSorted(pa.Peers, b)
 	pb.Peers = insertSorted(pb.Peers, a)
-	g.adj = nil
+	g.invalidateAdj()
 	return nil
+}
+
+func (g *Graph) invalidateAdj() {
+	g.adjMu.Lock()
+	g.adj = nil
+	g.adjMu.Unlock()
 }
 
 // Originate records that asn originates prefix.

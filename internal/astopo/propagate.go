@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/parallel"
 )
 
 // RouteClass orders routes by Gao–Rexford preference: routes learned from
@@ -44,7 +45,12 @@ type dense struct {
 	peers     [][]int32
 }
 
+// denseAdj returns the dense adjacency view, building it on first use.
+// The build is guarded by g.adjMu so any number of goroutines may
+// Propagate concurrently; see the Graph concurrency contract.
 func (g *Graph) denseAdj() *dense {
+	g.adjMu.Lock()
+	defer g.adjMu.Unlock()
 	if g.adj != nil {
 		return g.adj
 	}
@@ -275,4 +281,31 @@ func (g *Graph) Propagate(prefix netx.Prefix, origin uint32, filter ImportFilter
 		frontier = next
 	}
 	return tree
+}
+
+// PropagateRequest is one unit of PropagateBatch work: flood (Prefix,
+// Origin) under Filter.
+type PropagateRequest struct {
+	Prefix netx.Prefix
+	Origin uint32
+	Filter ImportFilter
+}
+
+// PropagateBatch propagates every request across a pool of workers
+// (≤ 0 means one per CPU) and returns the route trees in request order,
+// so results are deterministic regardless of the worker count. Each
+// propagation is independent; filters are called concurrently and must
+// be safe for concurrent use (pure functions over immutable state, as
+// all filters in this repository are).
+func (g *Graph) PropagateBatch(reqs []PropagateRequest, workers int) []*RouteTree {
+	trees := make([]*RouteTree, len(reqs))
+	if len(reqs) == 0 {
+		return trees
+	}
+	g.denseAdj() // build once, outside the pool
+	parallel.ForEach(len(reqs), workers, func(i int) {
+		r := reqs[i]
+		trees[i] = g.Propagate(r.Prefix, r.Origin, r.Filter)
+	})
+	return trees
 }

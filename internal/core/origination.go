@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/parallel"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/stats"
 )
@@ -286,23 +287,41 @@ func (p *Pipeline) Stability(weeks int) (*StabilityResult, error) {
 		Flapping: map[manrs.Program]int{},
 		Members:  map[manrs.Program]int{},
 	}
-	conf := map[uint32][]bool{}
-	for i := 0; i < weeks; i++ {
+	members := p.World.MANRS.Members(end)
+
+	// Each weekly snapshot is an independent dataset build over the
+	// immutable World, so the weeks fan out across the worker pool; a
+	// failed week cannot corrupt shared state (there is no snapshot to
+	// restore), and per-week results land in per-index slots so the
+	// flap sequences are in week order regardless of scheduling.
+	weekConf := make([]map[uint32]bool, weeks)
+	err := parallel.ForEachErr(weeks, p.Workers, func(i int) error {
 		t := start.Add(time.Duration(i) * step)
-		res.Weeks = append(res.Weeks, t)
 		ds, err := p.World.DatasetAt(t)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ms := manrs.ComputeMetrics(ds)
-		for _, part := range p.World.MANRS.Members(end) {
-			conf[part.ASN] = append(conf[part.ASN], manrs.Action4Conformant(ms[part.ASN], part.Program))
+		wc := make(map[uint32]bool, len(members))
+		for _, part := range members {
+			wc[part.ASN] = manrs.Action4Conformant(ms[part.ASN], part.Program)
+		}
+		weekConf[i] = wc
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	conf := map[uint32][]bool{}
+	for i := 0; i < weeks; i++ {
+		res.Weeks = append(res.Weeks, start.Add(time.Duration(i)*step))
+		for _, part := range members {
+			conf[part.ASN] = append(conf[part.ASN], weekConf[i][part.ASN])
 		}
 	}
-	// Restore the headline snapshot for later experiments.
-	p.World.SetSnapshot(p.AsOf)
 
-	for _, part := range p.World.MANRS.Members(end) {
+	for _, part := range members {
 		res.Members[part.Program]++
 		cs := conf[part.ASN]
 		all, none := true, true

@@ -15,27 +15,46 @@ import (
 )
 
 // Pipeline caches the expensive artifacts (the May-2022 dataset and the
-// per-AS metrics) shared by the experiments.
+// per-AS metrics) shared by the experiments. Experiments only read the
+// shared World through its immutable snapshot views, so several
+// pipelines (or several experiments of one pipeline) may run
+// concurrently over one World.
 type Pipeline struct {
 	World *synth.World
 	// AsOf is the headline measurement date (May 1 of the final year).
 	AsOf time.Time
+	// Workers bounds the goroutines each experiment fans out on; ≤ 0
+	// means one per CPU. Results are identical for every worker count.
+	Workers int
 
 	ds      *ihr.Dataset
 	metrics map[uint32]*manrs.ASMetrics
 }
 
+// Options tunes pipeline construction.
+type Options struct {
+	// Workers bounds the goroutines used by dataset builds and the
+	// experiments; ≤ 0 means one per CPU.
+	Workers int
+}
+
 // NewPipeline builds the dataset at the study's end date and aggregates
-// per-AS metrics.
+// per-AS metrics, with default options.
 func NewPipeline(w *synth.World) (*Pipeline, error) {
+	return NewPipelineWith(w, Options{})
+}
+
+// NewPipelineWith is NewPipeline with explicit options.
+func NewPipelineWith(w *synth.World, opts Options) (*Pipeline, error) {
 	asOf := w.Date(w.Config.EndYear)
-	ds, err := w.DatasetAt(asOf)
+	ds, err := w.DatasetAtWorkers(asOf, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: build dataset: %w", err)
 	}
 	return &Pipeline{
 		World:   w,
 		AsOf:    asOf,
+		Workers: opts.Workers,
 		ds:      ds,
 		metrics: manrs.ComputeMetrics(ds),
 	}, nil

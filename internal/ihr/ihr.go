@@ -19,6 +19,7 @@ import (
 	"manrsmeter/internal/astopo"
 	"manrsmeter/internal/hegemony"
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/parallel"
 	"manrsmeter/internal/rov"
 )
 
@@ -96,6 +97,14 @@ type Config struct {
 	// The real IHR cannot see them; the impact analysis (§9.4) relies on
 	// that censoring, so the default is false.
 	KeepInvisible bool
+	// Originations overrides the set of announcements to build from; nil
+	// means every origination currently in the graph. Snapshot views use
+	// this to build historical datasets without mutating the graph.
+	Originations []astopo.Origination
+	// Workers bounds the goroutines used for propagation and row
+	// construction; ≤ 0 means one per CPU. The dataset is byte-identical
+	// for every worker count.
+	Workers int
 }
 
 // Dataset is the pair of IHR views plus the route trees they came from.
@@ -131,23 +140,63 @@ func Build(cfg Config) (*Dataset, error) {
 		return ix.Validate(p, o)
 	}
 
-	ds := &Dataset{Visibility: make(map[astopo.Origination]int)}
-	// Propagation depends on the origin and on the pair's validation
-	// statuses (the only inputs to the filters), so trees are cached on
-	// that key — most origins have a single status combination.
-	trees := make(map[treeKey]*astopo.RouteTree)
+	origs := cfg.Originations
+	if origs == nil {
+		origs = cfg.Graph.Originations()
+	}
 
-	for _, og := range cfg.Graph.Originations() {
-		rpkiS := validate(cfg.RPKI, og.Prefix, og.Origin)
-		irrS := validate(cfg.IRR, og.Prefix, og.Origin)
-		key := treeKey{og.Origin, rpkiS, irrS}
-		tree, ok := trees[key]
-		if !ok {
-			filter := makeFilter(cfg.Graph, cfg.Policies, rpkiS, irrS)
-			tree = cfg.Graph.Propagate(og.Prefix, og.Origin, filter)
-			trees[key] = tree
+	// Stage 1: classify every origination. Validation is a pure lookup
+	// against immutable indexes, so it fans out safely.
+	type status struct{ rpki, irr rov.Status }
+	statuses := make([]status, len(origs))
+	parallel.ForEach(len(origs), cfg.Workers, func(i int) {
+		og := origs[i]
+		statuses[i] = status{
+			rpki: validate(cfg.RPKI, og.Prefix, og.Origin),
+			irr:  validate(cfg.IRR, og.Prefix, og.Origin),
 		}
+	})
 
+	// Stage 2: group by treeKey. Propagation depends on the origin and on
+	// the pair's validation statuses (the only inputs to the filters), so
+	// trees are shared on that key — most origins have a single status
+	// combination. Keys are collected in first-appearance order so the
+	// representative origination (whose prefix seeds the filter) matches
+	// what a sequential walk would pick.
+	keyIdx := make([]int, len(origs))
+	slot := make(map[treeKey]int)
+	var reps []int // index of the representative origination per key
+	for i, og := range origs {
+		key := treeKey{og.Origin, statuses[i].rpki, statuses[i].irr}
+		s, ok := slot[key]
+		if !ok {
+			s = len(reps)
+			slot[key] = s
+			reps = append(reps, i)
+		}
+		keyIdx[i] = s
+	}
+
+	// Stage 3: propagate one route tree per unique key across the pool.
+	trees := make([]*astopo.RouteTree, len(reps))
+	parallel.ForEach(len(reps), cfg.Workers, func(s int) {
+		og := origs[reps[s]]
+		st := statuses[reps[s]]
+		filter := makeFilter(cfg.Graph, cfg.Policies, st.rpki, st.irr)
+		trees[s] = cfg.Graph.Propagate(og.Prefix, og.Origin, filter)
+	})
+
+	// Stage 4: derive each origination's rows into per-index slots.
+	type rowResult struct {
+		seen     int
+		visible  bool
+		transits []TransitRow
+	}
+	results := make([]rowResult, len(origs))
+	parallel.ForEach(len(origs), cfg.Workers, func(i int) {
+		og := origs[i]
+		st := statuses[i]
+		tree := trees[keyIdx[i]]
 		var paths [][]uint32
 		seen := 0
 		for _, v := range cfg.VantagePoints {
@@ -156,28 +205,42 @@ func Build(cfg Config) (*Dataset, error) {
 				seen++
 			}
 		}
-		ds.Visibility[og] = seen
+		res := rowResult{seen: seen}
 		if seen == 0 && !cfg.KeepInvisible {
-			continue
+			results[i] = res
+			return
 		}
-		ds.PrefixOrigins = append(ds.PrefixOrigins, PrefixOrigin{
-			Prefix: og.Prefix, Origin: og.Origin, RPKI: rpkiS, IRR: irrS,
-		})
+		res.visible = true
 		scores := hegemony.Scores(paths, trim)
 		for _, sc := range hegemony.Ranked(scores) {
 			if sc.ASN == og.Origin {
 				continue // trivial transit: lives in the prefix-origin dataset
 			}
-			ds.Transits = append(ds.Transits, TransitRow{
+			res.transits = append(res.transits, TransitRow{
 				Prefix:       og.Prefix,
 				Origin:       og.Origin,
 				Transit:      sc.ASN,
 				Hegemony:     sc.Hegemony,
-				RPKI:         rpkiS,
-				IRR:          irrS,
+				RPKI:         st.rpki,
+				IRR:          st.irr,
 				FromCustomer: fromCustomer(tree, sc.ASN),
 			})
 		}
+		results[i] = res
+	})
+
+	// Stage 5: merge in input order, then impose total orders so the
+	// dataset is byte-identical regardless of worker count.
+	ds := &Dataset{Visibility: make(map[astopo.Origination]int, len(origs))}
+	for i, og := range origs {
+		ds.Visibility[og] = results[i].seen
+		if !results[i].visible {
+			continue
+		}
+		ds.PrefixOrigins = append(ds.PrefixOrigins, PrefixOrigin{
+			Prefix: og.Prefix, Origin: og.Origin, RPKI: statuses[i].rpki, IRR: statuses[i].irr,
+		})
+		ds.Transits = append(ds.Transits, results[i].transits...)
 	}
 	sort.Slice(ds.PrefixOrigins, func(i, j int) bool {
 		a, b := ds.PrefixOrigins[i], ds.PrefixOrigins[j]
@@ -185,6 +248,19 @@ func Build(cfg Config) (*Dataset, error) {
 			return a.Origin < b.Origin
 		}
 		return a.Prefix.Compare(b.Prefix) < 0
+	})
+	sort.SliceStable(ds.Transits, func(i, j int) bool {
+		a, b := ds.Transits[i], ds.Transits[j]
+		if a.Origin != b.Origin {
+			return a.Origin < b.Origin
+		}
+		if c := a.Prefix.Compare(b.Prefix); c != 0 {
+			return c < 0
+		}
+		if a.Hegemony != b.Hegemony {
+			return a.Hegemony > b.Hegemony
+		}
+		return a.Transit < b.Transit
 	})
 	return ds, nil
 }

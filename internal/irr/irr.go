@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rov"
@@ -174,7 +175,14 @@ func (db *Database) Dump(w io.Writer) error {
 
 // Registry is a collection of IRR databases queried as one, mirroring how
 // operators consume RADB-style mirrored collections.
+//
+// Validate and Index are safe for concurrent callers: the lazy index
+// rebuild is serialized by an internal mutex, and the rov.Index handed
+// out is immutable once built. AddDatabase must not race with readers.
 type Registry struct {
+	// mu guards the lazily rebuilt index state below; attached Database
+	// values are never mutated through the Registry.
+	mu    sync.Mutex
 	dbs   []*Database
 	index *rov.Index
 	dirty bool
@@ -188,6 +196,8 @@ func NewRegistry() *Registry { return &Registry{index: rov.NewIndex()} }
 
 // AddDatabase attaches db; later validation covers its route objects.
 func (r *Registry) AddDatabase(db *Database) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.dbs = append(r.dbs, db)
 	r.dirty = true
 }
@@ -200,6 +210,7 @@ func (r *Registry) Databases() []*Database { return r.dbs }
 // directly) are skipped and reported through the returned error; the
 // index remains usable without them, so one bad object cannot take the
 // whole registry down.
+// rebuild must be called with r.mu held.
 func (r *Registry) rebuild() error {
 	if !r.dirty {
 		return r.rebuildErr
@@ -225,8 +236,8 @@ func (r *Registry) rebuild() error {
 // best-effort against the indexable objects; Index surfaces rebuild
 // errors.
 func (r *Registry) Validate(prefix netx.Prefix, origin uint32) rov.Status {
-	_ = r.rebuild()
-	return r.index.Validate(prefix, origin)
+	ix, _ := r.Index()
+	return ix.Validate(prefix, origin)
 }
 
 // Index exposes the merged rov index (rebuilt if needed) for bulk
@@ -234,6 +245,8 @@ func (r *Registry) Validate(prefix netx.Prefix, origin uint32) rov.Status {
 // objects the rebuild had to skip; the returned index is still valid
 // for the rest.
 func (r *Registry) Index() (*rov.Index, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	err := r.rebuild()
 	return r.index, err
 }

@@ -1,0 +1,79 @@
+// Package parallel provides the small worker-pool primitives the
+// analysis path fans out on: index-space iteration with a bounded number
+// of goroutines. Results are always written to caller-owned, per-index
+// slots, so every user of this package is deterministic by construction —
+// worker count changes scheduling, never output.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count option: values ≤ 0 mean "one worker
+// per available CPU" (GOMAXPROCS), and the count is never larger than n,
+// the number of work items.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) for every i in [0, n) using at most workers
+// goroutines (≤ 0 means GOMAXPROCS). It returns when every call has
+// completed. fn must write any results into per-index storage; ForEach
+// itself imposes no ordering between calls.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachErr is ForEach for fallible work: it runs fn(i) for every i in
+// [0, n) and returns the error from the lowest index that failed (so the
+// reported error is deterministic regardless of scheduling). All items
+// run even when some fail; fn must tolerate that.
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	ForEach(n, workers, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

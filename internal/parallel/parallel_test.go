@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3, 100) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Workers(2, 0); got != 1 {
+		t.Errorf("Workers(2, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		const n = 1000
+		counts := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	ForEach(-5, 4, func(int) { ran = true })
+	if ran {
+		t.Error("fn ran for empty index space")
+	}
+}
+
+func TestForEachErrReturnsLowestIndexError(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(10, workers, func(i int) error {
+			switch i {
+			case 7:
+				return errA
+			case 3:
+				return errB
+			}
+			return nil
+		})
+		if err != errB {
+			t.Errorf("workers=%d: err = %v, want error from index 3", workers, err)
+		}
+	}
+	if err := ForEachErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error: %v", err)
+	}
+}

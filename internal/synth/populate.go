@@ -3,6 +3,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"manrsmeter/internal/astopo"
@@ -589,9 +590,43 @@ func (w *World) pickVantagePoints(rng *rand.Rand, infos []*asInfo) {
 	}
 }
 
+// active reports whether the origination og is announced at time t.
+func (w *World) active(og astopo.Origination, t time.Time) bool {
+	wd, ok := w.prefixWindows[og]
+	return !ok || (!t.Before(wd.from) && t.Before(wd.to))
+}
+
+// OriginationsAt returns the announcements active at time t as an
+// immutable point-in-time view, without touching the graph. The ordering
+// matches Graph.Originations (ascending origin, then prefix), so a
+// dataset built from this view is identical to one built after
+// SetSnapshot(t).
+func (w *World) OriginationsAt(t time.Time) []astopo.Origination {
+	asns := make([]uint32, 0, len(w.allPrefixes))
+	for asn := range w.allPrefixes {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	var out []astopo.Origination
+	for _, asn := range asns {
+		start := len(out)
+		for _, p := range w.allPrefixes[asn] {
+			og := astopo.Origination{Prefix: p, Origin: asn}
+			if w.active(og, t) {
+				out = append(out, og)
+			}
+		}
+		row := out[start:]
+		sort.Slice(row, func(i, j int) bool { return row[i].Prefix.Compare(row[j].Prefix) < 0 })
+	}
+	return out
+}
+
 // SetSnapshot restricts every AS's announced prefixes to those active at
-// t (the §8.5 churn windows). It mutates the graph in place; call before
-// building a dataset for a different date.
+// t (the §8.5 churn windows). It mutates the graph in place and exists
+// for tools that need the Graph itself rewound (the synthgen MRT
+// writer); the analysis path uses the immutable OriginationsAt /
+// DatasetAt views instead and never calls it.
 func (w *World) SetSnapshot(t time.Time) {
 	for asn, all := range w.allPrefixes {
 		a := w.Graph.AS(asn)
@@ -600,8 +635,7 @@ func (w *World) SetSnapshot(t time.Time) {
 		}
 		active := all[:0:0]
 		for _, p := range all {
-			wd, ok := w.prefixWindows[astopo.Origination{Prefix: p, Origin: asn}]
-			if !ok || (!t.Before(wd.from) && t.Before(wd.to)) {
+			if w.active(astopo.Origination{Prefix: p, Origin: asn}, t) {
 				active = append(active, p)
 			}
 		}
@@ -645,11 +679,17 @@ func (w *World) IndexesAt(t time.Time) (rpkiIx, irrIx *rov.Index, err error) {
 	return rpkiIx, irrIx, nil
 }
 
-// DatasetAt builds the IHR view of the world as of t: snapshot the
-// announced prefixes, validate against the VRPs at t and the IRR, and
-// propagate with every AS's filtering policy.
-func (w *World) DatasetAt(t time.Time) (*ihr.Dataset, error) {
-	w.SetSnapshot(t)
+// dsCacheCap bounds the DatasetAt memoization cache: the headline date
+// plus a stability loop's dozen weekly snapshots fit with room to spare.
+const dsCacheCap = 16
+
+// BuildDatasetAt builds the IHR view of the world as of t from the
+// immutable snapshot view, bypassing the DatasetAt cache: validate the
+// active announcements against the VRPs at t and the IRR, and propagate
+// with every AS's filtering policy across workers goroutines (≤ 0 means
+// one per CPU). The graph is never mutated, so any number of builds may
+// run concurrently over one World.
+func (w *World) BuildDatasetAt(t time.Time, workers int) (*ihr.Dataset, error) {
 	rpkiIx, irrIx, err := w.IndexesAt(t)
 	if err != nil {
 		return nil, err
@@ -660,7 +700,51 @@ func (w *World) DatasetAt(t time.Time) (*ihr.Dataset, error) {
 		IRR:           irrIx,
 		Policies:      w.Policies,
 		VantagePoints: w.VantagePoints,
+		Originations:  w.OriginationsAt(t),
+		Workers:       workers,
 	})
+}
+
+// DatasetAt returns the IHR view of the world as of t, memoizing results
+// in a small date-keyed cache so repeated queries for the same snapshot
+// (the stability loop, growth time series) build it once. The returned
+// dataset is shared and must be treated as immutable.
+func (w *World) DatasetAt(t time.Time) (*ihr.Dataset, error) {
+	return w.DatasetAtWorkers(t, 0)
+}
+
+// DatasetAtWorkers is DatasetAt with an explicit worker count for the
+// underlying build. The cache is keyed by date only: the build result is
+// identical for every worker count.
+func (w *World) DatasetAtWorkers(t time.Time, workers int) (*ihr.Dataset, error) {
+	key := t.Unix()
+	w.dsMu.Lock()
+	if ds, ok := w.dsCache[key]; ok {
+		w.dsMu.Unlock()
+		return ds, nil
+	}
+	w.dsMu.Unlock()
+
+	ds, err := w.BuildDatasetAt(t, workers)
+	if err != nil {
+		return nil, err
+	}
+
+	w.dsMu.Lock()
+	defer w.dsMu.Unlock()
+	if cached, ok := w.dsCache[key]; ok {
+		return cached, nil // a concurrent builder won the race; share its result
+	}
+	if w.dsCache == nil {
+		w.dsCache = make(map[int64]*ihr.Dataset)
+	}
+	if len(w.dsDates) >= dsCacheCap {
+		delete(w.dsCache, w.dsDates[0])
+		w.dsDates = w.dsDates[1:]
+	}
+	w.dsCache[key] = ds
+	w.dsDates = append(w.dsDates, key)
+	return ds, nil
 }
 
 func min(a, b int) int {

@@ -21,6 +21,7 @@ package synth
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"manrsmeter/internal/astopo"
@@ -164,6 +165,12 @@ type World struct {
 	// allPrefixes remembers each AS's full prefix list so snapshots can
 	// re-derive the active set.
 	allPrefixes map[uint32][]netx.Prefix
+
+	// dsMu guards the DatasetAt memoization cache below. Datasets are
+	// immutable once built, so cached values are shared across callers.
+	dsMu    sync.Mutex
+	dsCache map[int64]*ihr.Dataset
+	dsDates []int64 // insertion order, for bounded eviction
 }
 
 type window struct{ from, to time.Time }

@@ -3,8 +3,10 @@ package manrsmeter
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"manrsmeter/internal/core"
+	"manrsmeter/internal/parallel"
 )
 
 // ReportOptions controls RunReport.
@@ -20,12 +22,26 @@ type ReportOptions struct {
 	// containment); HijackIncidents sets the incident count (zero = 200).
 	SkipExtensions  bool
 	HijackIncidents int
+	// Workers bounds the goroutines the staged runner fans the report
+	// sections (and their dataset builds) across; ≤ 0 means one per CPU.
+	// The report bytes are identical for every worker count.
+	Workers int
+	// Trace, when non-nil, receives one per-section wall-time line after
+	// the report is written, in section order.
+	Trace io.Writer
+}
+
+// section is one independently computable unit of the report: sections
+// run concurrently and their outputs are emitted in declaration order.
+type section struct {
+	name string
+	run  func() (string, error)
 }
 
 // RunReport regenerates every table and figure of the paper's evaluation
 // over the given world and writes the rendered results to w.
 func RunReport(w io.Writer, world *World, opts ReportOptions) error {
-	pipe, err := core.NewPipeline(world)
+	pipe, err := core.NewPipelineWith(world, core.Options{Workers: opts.Workers})
 	if err != nil {
 		return err
 	}
@@ -33,6 +49,12 @@ func RunReport(w io.Writer, world *World, opts ReportOptions) error {
 }
 
 // RunReportWithPipeline is RunReport over an already-built pipeline.
+//
+// The sections are staged: every section is a pure function of the
+// pipeline's immutable state, so they execute concurrently across
+// opts.Workers goroutines, each buffering its rendered output; the
+// buffers are then written in the paper's section order. Output is
+// byte-identical to a sequential run.
 func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) error {
 	if opts.CaseStudyCDNs == 0 {
 		opts.CaseStudyCDNs = 3
@@ -40,26 +62,22 @@ func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) erro
 	if opts.CaseStudyISPs == 0 {
 		opts.CaseStudyISPs = 3
 	}
-	out := func(s string) error {
-		_, err := fmt.Fprintln(w, s)
-		return err
-	}
 
-	sections := []func() (string, error){
-		func() (string, error) { return pipe.Fig2Growth().Render(), nil },
-		func() (string, error) { return pipe.Fig4ByRIR().Render(), nil },
-		func() (string, error) { return pipe.Finding70().Render(), nil },
-		func() (string, error) { return pipe.Fig5aRPKIOrigination().Render(), nil },
-		func() (string, error) { return pipe.Fig5bIRROrigination().Render(), nil },
-		func() (string, error) { return core.RenderAction4(pipe.Action4()), nil },
-		func() (string, error) {
+	sections := []section{
+		{"Fig2Growth", func() (string, error) { return pipe.Fig2Growth().Render(), nil }},
+		{"Fig4ByRIR", func() (string, error) { return pipe.Fig4ByRIR().Render(), nil }},
+		{"Finding70", func() (string, error) { return pipe.Finding70().Render(), nil }},
+		{"Fig5aRPKIOrigination", func() (string, error) { return pipe.Fig5aRPKIOrigination().Render(), nil }},
+		{"Fig5bIRROrigination", func() (string, error) { return pipe.Fig5bIRROrigination().Render(), nil }},
+		{"Action4", func() (string, error) { return core.RenderAction4(pipe.Action4()), nil }},
+		{"Table1CaseStudies", func() (string, error) {
 			rows, err := pipe.Table1CaseStudies(opts.CaseStudyCDNs, opts.CaseStudyISPs)
 			if err != nil {
 				return "", err
 			}
 			return core.RenderTable1(rows), nil
-		},
-		func() (string, error) {
+		}},
+		{"Stability", func() (string, error) {
 			if opts.SkipStability {
 				return "Finding 8.7 — stability analysis skipped (ReportOptions.SkipStability)", nil
 			}
@@ -68,20 +86,20 @@ func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) erro
 				return "", err
 			}
 			return res.Render(), nil
-		},
-		func() (string, error) {
+		}},
+		{"Fig6Saturation", func() (string, error) {
 			res, err := pipe.Fig6Saturation()
 			if err != nil {
 				return "", err
 			}
 			return res.Render(), nil
-		},
-		func() (string, error) { return pipe.Fig7aRPKIPropagation().Render(), nil },
-		func() (string, error) { return pipe.Fig7bIRRPropagation().Render(), nil },
-		func() (string, error) { return pipe.Fig8Unconformant().Render(), nil },
-		func() (string, error) { return core.RenderTable2(pipe.Table2Action1()), nil },
-		func() (string, error) { return pipe.Fig9Preference().Render(), nil },
-		func() (string, error) {
+		}},
+		{"Fig7aRPKIPropagation", func() (string, error) { return pipe.Fig7aRPKIPropagation().Render(), nil }},
+		{"Fig7bIRRPropagation", func() (string, error) { return pipe.Fig7bIRRPropagation().Render(), nil }},
+		{"Fig8Unconformant", func() (string, error) { return pipe.Fig8Unconformant().Render(), nil }},
+		{"Table2Action1", func() (string, error) { return core.RenderTable2(pipe.Table2Action1()), nil }},
+		{"Fig9Preference", func() (string, error) { return pipe.Fig9Preference().Render(), nil }},
+		{"HijackImpact", func() (string, error) {
 			if opts.SkipExtensions {
 				return "Extension — hijack containment skipped (ReportOptions.SkipExtensions)", nil
 			}
@@ -94,14 +112,14 @@ func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) erro
 				return "", err
 			}
 			return res.Render(), nil
-		},
-		func() (string, error) {
+		}},
+		{"Action3", func() (string, error) {
 			if opts.SkipExtensions {
 				return "Extension — Action 3 skipped (ReportOptions.SkipExtensions)", nil
 			}
 			return pipe.Action3().Render(), nil
-		},
-		func() (string, error) {
+		}},
+		{"RouteLeaks", func() (string, error) {
 			if opts.SkipExtensions {
 				return "Extension — route leaks skipped (ReportOptions.SkipExtensions)", nil
 			}
@@ -110,15 +128,34 @@ func RunReportWithPipeline(w io.Writer, pipe *Pipeline, opts ReportOptions) erro
 				return "", err
 			}
 			return res.Render(), nil
-		},
+		}},
 	}
-	for _, section := range sections {
-		s, err := section()
+
+	outputs := make([]string, len(sections))
+	elapsed := make([]time.Duration, len(sections))
+	err := parallel.ForEachErr(len(sections), opts.Workers, func(i int) error {
+		startAt := time.Now()
+		s, err := sections[i].run()
+		elapsed[i] = time.Since(startAt)
 		if err != nil {
+			return fmt.Errorf("report: section %s: %w", sections[i].name, err)
+		}
+		outputs[i] = s
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, s := range outputs {
+		if _, err := fmt.Fprintln(w, s); err != nil {
 			return err
 		}
-		if err := out(s); err != nil {
-			return err
+	}
+	if opts.Trace != nil {
+		for i, sec := range sections {
+			if _, err := fmt.Fprintf(opts.Trace, "trace: %-22s %12v\n", sec.name, elapsed[i].Round(time.Microsecond)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,100 @@
+package manrsmeter
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestRunReportByteIdentical is the determinism golden test: the full
+// report must be byte-identical across repeated runs and across worker
+// counts, because every parallel stage merges into a total order.
+func TestRunReportByteIdentical(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		var buf bytes.Buffer
+		err := RunReport(&buf, world, ReportOptions{StabilityWeeks: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first := render(1)
+	if first == "" {
+		t.Fatal("empty report")
+	}
+	if again := render(1); again != first {
+		t.Error("two Workers=1 runs differ")
+	}
+	if wide := render(8); wide != first {
+		t.Error("Workers=8 report differs from Workers=1")
+	}
+}
+
+// TestConcurrentPipelinesSharedWorld runs two pipelines and two
+// concurrent RunReport calls over one World — the immutable-snapshot
+// contract under -race, plus output equality.
+func TestConcurrentPipelinesSharedWorld(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipes := make([]*Pipeline, 2)
+	outs := make([]bytes.Buffer, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pipe, err := NewPipelineWith(world, PipelineOptions{Workers: 2})
+			if err != nil {
+				t.Errorf("pipeline %d: %v", i, err)
+				return
+			}
+			pipes[i] = pipe
+			opts := ReportOptions{StabilityWeeks: 3, Workers: 2}
+			if err := RunReportWithPipeline(&outs[i], pipe, opts); err != nil {
+				t.Errorf("report %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if outs[0].String() != outs[1].String() {
+		t.Error("concurrent reports over one world differ")
+	}
+	if !strings.Contains(outs[0].String(), "Finding 8.7") {
+		t.Error("stability section missing from concurrent report")
+	}
+}
+
+// TestRunReportTrace checks the per-section wall-time tracing output.
+func TestRunReportTrace(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report, trace bytes.Buffer
+	opts := ReportOptions{SkipStability: true, SkipExtensions: true, Trace: &trace}
+	if err := RunReport(&report, world, opts); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(trace.String()), "\n")
+	if len(lines) != 17 {
+		t.Fatalf("trace lines = %d, want one per section (17):\n%s", len(lines), trace.String())
+	}
+	for _, name := range []string{"Fig2Growth", "Stability", "RouteLeaks"} {
+		if !strings.Contains(trace.String(), name) {
+			t.Errorf("trace missing section %s", name)
+		}
+	}
+	if strings.Contains(report.String(), "trace:") {
+		t.Error("trace lines leaked into the report writer")
+	}
+}

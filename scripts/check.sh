@@ -2,15 +2,26 @@
 # Pre-merge check: everything a change must pass before it lands.
 # Run from the repository root (or via `make check`).
 #
+#   gofmt  — formatting gate (fails listing unformatted files)
 #   vet    — static analysis
 #   build  — every package and command compiles
 #   race   — full test suite under the race detector (includes the
 #            chaos suites driving each daemon through injected faults)
+#   bench  — single-iteration smoke of the dataset-build benchmarks,
+#            so the parallel build paths stay exercised pre-merge
 #   fuzz   — short smoke of the BGP wire-format fuzzers, so decoder
 #            regressions on malformed input surface before merge
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
+
+echo "==> gofmt -l ."
+UNFORMATTED="$(gofmt -l .)"
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
@@ -20,6 +31,9 @@ go build ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> bench smoke (1 iteration per dataset-build bench)"
+go test -run '^$' -bench 'BuildDataset|DatasetBuild' -benchtime 1x .
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
