@@ -15,9 +15,17 @@
 // or run every experiment at once:
 //
 //	manrsmeter.RunReport(os.Stdout, world, manrsmeter.ReportOptions{})
+//
+// Long-running entry points have context-aware variants (RunReportCtx,
+// NewPipelineCtx) that honor cancellation and deadlines, and RunReport
+// supports a degraded mode (ReportOptions.ContinueOnError) that renders
+// diagnostics for failed sections instead of aborting — see DESIGN.md,
+// "Failure semantics".
 package manrsmeter
 
 import (
+	"context"
+
 	"manrsmeter/internal/core"
 	"manrsmeter/internal/ihr"
 	"manrsmeter/internal/manrs"
@@ -33,7 +41,8 @@ type Prefix = netx.Prefix
 // ParsePrefix parses CIDR notation into a Prefix.
 func ParsePrefix(s string) (Prefix, error) { return netx.ParsePrefix(s) }
 
-// MustParsePrefix is ParsePrefix that panics on error.
+// MustParsePrefix is ParsePrefix that panics on error; use it only for
+// statically known inputs (tests, examples, table literals).
 func MustParsePrefix(s string) Prefix { return netx.MustParsePrefix(s) }
 
 // Route origin validation vocabulary (RFC 6811 extended with the paper's
@@ -141,6 +150,13 @@ func NewPipeline(w *World) (*Pipeline, error) { return core.NewPipeline(w) }
 //	pipe, err := manrsmeter.NewPipelineWith(world, manrsmeter.PipelineOptions{Workers: 4})
 func NewPipelineWith(w *World, opts PipelineOptions) (*Pipeline, error) {
 	return core.NewPipelineWith(w, opts)
+}
+
+// NewPipelineCtx is NewPipelineWith with cancellation threaded through
+// the headline dataset build: a canceled context aborts construction
+// with the cancellation cause instead of finishing the build.
+func NewPipelineCtx(ctx context.Context, w *World, opts PipelineOptions) (*Pipeline, error) {
+	return core.NewPipelineCtx(ctx, w, opts)
 }
 
 // ComputeMetrics aggregates a dataset into per-AS metrics (Formulas 1–6).

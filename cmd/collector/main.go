@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 	interval := flag.Duration("interval", 0, "periodic dump interval (0 = dump only on shutdown)")
 	holdTime := flag.Duration("hold-time", 90*time.Second, "advertised BGP hold time; silent peers are torn down and their routes withdrawn")
 	maxPeers := flag.Int("max-peers", 0, "cap on concurrent peer connections (0 = unlimited)")
+	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for peer sessions to wind down at shutdown; whatever remains is force-closed")
 	flag.Parse()
 
 	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255},
@@ -72,8 +74,27 @@ func main() {
 		log.Printf("wrote %s: %d peers, %d routes", *out, c.NumPeers(), c.RIB().Len())
 	}
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	// SIGINT/SIGTERM start a graceful shutdown: the final snapshot is
+	// written first (it is the artifact this daemon exists to produce),
+	// then live sessions get -drain to wind down before a forced close.
+	// A second signal kills the process via the restored default handler.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	shutdown := func() {
+		dump()
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := c.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		if station != nil {
+			if err := station.Shutdown(drainCtx); err != nil {
+				log.Printf("shutdown BMP: %v", err)
+			}
+		}
+	}
+
 	if *interval > 0 {
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()
@@ -81,17 +102,14 @@ func main() {
 			select {
 			case <-ticker.C:
 				dump()
-			case <-stop:
-				dump()
-				_ = c.Close()
+			case <-ctx.Done():
+				log.Printf("shutting down (draining up to %v)", *drain)
+				shutdown()
 				return
 			}
 		}
 	}
-	<-stop
-	dump()
-	_ = c.Close()
-	if station != nil {
-		_ = station.Close()
-	}
+	<-ctx.Done()
+	log.Printf("shutting down (draining up to %v)", *drain)
+	shutdown()
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -18,6 +19,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"manrsmeter/internal/irr"
 )
@@ -27,6 +29,7 @@ func main() {
 	log.SetPrefix("irrd: ")
 	listen := flag.String("listen", "127.0.0.1:4343", "listen address")
 	query := flag.String("query", "", "answer one query against the loaded databases and exit")
+	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for in-flight queries at shutdown; whatever remains is force-closed")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("no database dumps given")
@@ -68,11 +71,16 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving %d route objects on %s", registry.NumRoutes(), addr)
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	if err := srv.Close(); err != nil {
+	// SIGINT/SIGTERM drain in-flight queries for up to -drain before
+	// force-closing them; a second signal kills the process via the
+	// restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down (draining up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Fatal(err)
 	}
 }

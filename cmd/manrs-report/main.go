@@ -6,15 +6,24 @@
 //
 //	manrs-report [-seed N] [-scale small|full] [-skip-stability] [-weeks N]
 //	             [-workers N] [-trace] [-cpuprofile FILE]
+//	             [-timeout D] [-section-timeout D] [-continue-on-error]
+//
+// SIGINT/SIGTERM cancel the run: in-flight sections are asked to stop,
+// and with -continue-on-error the sections already completed are still
+// flushed (with a health trailer) before exit.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"manrsmeter"
@@ -30,6 +39,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the analysis (0 = one per CPU)")
 	trace := flag.Bool("trace", false, "print per-section wall times to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	timeout := flag.Duration("timeout", 0, "overall deadline for the whole run (0 = none)")
+	sectionTimeout := flag.Duration("section-timeout", 0, "watchdog deadline per report section (0 = none)")
+	continueOnError := flag.Bool("continue-on-error", false, "render diagnostic stanzas for failed sections instead of aborting; ends the report with a health trailer")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -44,13 +56,36 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	if err := run(*seed, *scale, *skipStability, *weeks, *workers, *trace); err != nil {
+	// SIGINT/SIGTERM cancel the context; a second signal kills the
+	// process via the restored default handler (NotifyContext stops
+	// listening once the context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := manrsmeter.ReportOptions{
+		SkipStability:   *skipStability,
+		StabilityWeeks:  *weeks,
+		Workers:         *workers,
+		SectionTimeout:  *sectionTimeout,
+		ContinueOnError: *continueOnError,
+	}
+	err := run(ctx, *seed, *scale, opts, *trace)
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		pprof.StopCPUProfile()
+		log.Fatalf("canceled: %v", err)
+	}
+	if err != nil {
 		pprof.StopCPUProfile() // flush before the non-deferred exit
 		log.Fatal(err)
 	}
 }
 
-func run(seed int64, scale string, skipStability bool, weeks, workers int, trace bool) error {
+func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOptions, trace bool) error {
 	cfg := manrsmeter.DefaultConfig(seed)
 	if scale == "small" {
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
@@ -72,13 +107,8 @@ func run(seed int64, scale string, skipStability bool, weeks, workers int, trace
 	if trace {
 		traceW = os.Stderr
 	}
-	err = manrsmeter.RunReport(os.Stdout, world, manrsmeter.ReportOptions{
-		SkipStability:  skipStability,
-		StabilityWeeks: weeks,
-		Workers:        workers,
-		Trace:          traceW,
-	})
-	if err != nil {
+	opts.Trace = traceW
+	if err := manrsmeter.RunReportCtx(ctx, os.Stdout, world, opts); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
 	return nil

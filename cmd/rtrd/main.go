@@ -31,6 +31,7 @@ func main() {
 	fetch := flag.String("fetch", "", "act as a client: fetch a snapshot from this cache and print it")
 	retries := flag.Int("retries", 5, "with -fetch: dial attempts before giving up (cache may be restarting)")
 	timeout := flag.Duration("timeout", 30*time.Second, "with -fetch: overall fetch deadline")
+	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for client sessions to finish at shutdown; whatever remains is force-closed")
 	flag.Parse()
 
 	if *fetch != "" {
@@ -67,11 +68,16 @@ func main() {
 	}
 	log.Printf("serving %d VRPs on %s (RTR v%d)", len(vrps), addr, rtr.Version)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	log.Print("shutting down")
-	if err := srv.Close(); err != nil {
+	// SIGINT/SIGTERM drain client sessions for up to -drain before
+	// force-closing them; a second signal kills the process via the
+	// restored default handler.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	log.Printf("shutting down (draining up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Fatal(err)
 	}
 }

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/netip"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"manrsmeter"
 	"manrsmeter/internal/bgp/mrt"
@@ -46,7 +49,16 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the run between output files and inside the
+	// dataset build (the expensive stage); files already written stay on
+	// disk, and no file is left half-written by the cancellation itself.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	write := func(name string, fn func(w io.Writer) error) {
+		if err := ctx.Err(); err != nil {
+			log.Fatalf("canceled before %s: %v", name, err)
+		}
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
@@ -94,7 +106,7 @@ func main() {
 
 	write("peeringdb.json", world.PeeringDB.WriteJSON)
 
-	ds, err := world.DatasetAt(asOf)
+	ds, err := world.DatasetAtCtx(ctx, asOf, 0)
 	if err != nil {
 		log.Fatalf("build IHR dataset: %v", err)
 	}

@@ -1,6 +1,7 @@
 package astopo
 
 import (
+	"context"
 	"sort"
 
 	"manrsmeter/internal/netx"
@@ -298,14 +299,33 @@ type PropagateRequest struct {
 // be safe for concurrent use (pure functions over immutable state, as
 // all filters in this repository are).
 func (g *Graph) PropagateBatch(reqs []PropagateRequest, workers int) []*RouteTree {
+	trees, err := g.PropagateBatchCtx(context.Background(), reqs, workers)
+	if err != nil {
+		// Background context never cancels, so the only possible error is
+		// a recovered propagation panic; re-raise it to preserve the
+		// historical contract of this infallible entry point.
+		panic(err)
+	}
+	return trees
+}
+
+// PropagateBatchCtx is PropagateBatch with cancellation and panic
+// isolation: workers stop picking up new requests once ctx is done, and
+// a panic inside one propagation is returned as a *parallel.PanicError
+// instead of crashing the process. On error the returned slice is nil —
+// partially filled trees are never exposed.
+func (g *Graph) PropagateBatchCtx(ctx context.Context, reqs []PropagateRequest, workers int) ([]*RouteTree, error) {
 	trees := make([]*RouteTree, len(reqs))
 	if len(reqs) == 0 {
-		return trees
+		return trees, nil
 	}
 	g.denseAdj() // build once, outside the pool
-	parallel.ForEach(len(reqs), workers, func(i int) {
+	err := parallel.ForEachCtx(ctx, len(reqs), workers, func(i int) {
 		r := reqs[i]
 		trees[i] = g.Propagate(r.Prefix, r.Origin, r.Filter)
 	})
-	return trees
+	if err != nil {
+		return nil, err
+	}
+	return trees, nil
 }

@@ -88,6 +88,12 @@ func (s *Station) Close() error {
 	return s.srv.Close()
 }
 
+// Shutdown stops the station and waits for connected routers' streams
+// to drain, force-closing whatever remains when ctx expires.
+func (s *Station) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
 func (s *Station) serve(ctx context.Context, conn net.Conn) {
 	br := bufio.NewReader(conn)
 	for {

@@ -154,6 +154,13 @@ func (c *Collector) Close() error {
 	return c.srv.Close()
 }
 
+// Shutdown stops accepting and waits for peer sessions to wind down on
+// their own, force-closing whatever remains when ctx expires. Routes
+// from cleanly departed peers stay in the RIB, as with Close.
+func (c *Collector) Shutdown(ctx context.Context) error {
+	return c.srv.Shutdown(ctx)
+}
+
 // DumpSkipped reports how many routes DumpMRT has skipped because their
 // peer registered concurrently with a dump.
 func (c *Collector) DumpSkipped() int64 { return c.dumpSkipped.Load() }

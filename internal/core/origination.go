@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -273,6 +274,15 @@ type StabilityResult struct {
 // February 1 to May 1 of the final study year (12 snapshots, like the
 // paper).
 func (p *Pipeline) Stability(weeks int) (*StabilityResult, error) {
+	return p.StabilityCtx(context.Background(), weeks)
+}
+
+// StabilityCtx is Stability with cancellation threaded through the
+// weekly fan-out: once ctx is done no further weekly snapshots are
+// built, in-flight builds stop dispatching work, and the cancellation
+// cause is returned. Completed weekly datasets stay in the World's
+// snapshot cache, so a retried run resumes from them.
+func (p *Pipeline) StabilityCtx(ctx context.Context, weeks int) (*StabilityResult, error) {
 	if weeks <= 0 {
 		weeks = 12
 	}
@@ -295,9 +305,9 @@ func (p *Pipeline) Stability(weeks int) (*StabilityResult, error) {
 	// restore), and per-week results land in per-index slots so the
 	// flap sequences are in week order regardless of scheduling.
 	weekConf := make([]map[uint32]bool, weeks)
-	err := parallel.ForEachErr(weeks, p.Workers, func(i int) error {
+	err := parallel.ForEachErrCtx(ctx, weeks, p.Workers, func(i int) error {
 		t := start.Add(time.Duration(i) * step)
-		ds, err := p.World.DatasetAt(t)
+		ds, err := p.World.DatasetAtCtx(ctx, t, 0)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -46,8 +47,15 @@ func NewPipeline(w *synth.World) (*Pipeline, error) {
 
 // NewPipelineWith is NewPipeline with explicit options.
 func NewPipelineWith(w *synth.World, opts Options) (*Pipeline, error) {
+	return NewPipelineCtx(context.Background(), w, opts)
+}
+
+// NewPipelineCtx is NewPipelineWith with cancellation threaded through
+// the headline dataset build: a canceled context aborts construction
+// with the cancellation cause instead of finishing the build.
+func NewPipelineCtx(ctx context.Context, w *synth.World, opts Options) (*Pipeline, error) {
 	asOf := w.Date(w.Config.EndYear)
-	ds, err := w.DatasetAtWorkers(asOf, opts.Workers)
+	ds, err := w.DatasetAtCtx(ctx, asOf, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: build dataset: %w", err)
 	}

@@ -11,6 +11,7 @@
 package ihr
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -123,6 +124,15 @@ type treeKey struct {
 
 // Build constructs the dataset for every origination in the graph.
 func Build(cfg Config) (*Dataset, error) {
+	return BuildCtx(context.Background(), cfg)
+}
+
+// BuildCtx is Build with cancellation and panic isolation threaded
+// through every fan-out stage: once ctx is done no new originations are
+// classified, no new trees are propagated and no new rows are derived,
+// and the build returns the cancellation cause instead of a partial
+// dataset. A panic in any stage surfaces as a *parallel.PanicError.
+func BuildCtx(ctx context.Context, cfg Config) (*Dataset, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("ihr: Config.Graph is required")
 	}
@@ -149,13 +159,16 @@ func Build(cfg Config) (*Dataset, error) {
 	// against immutable indexes, so it fans out safely.
 	type status struct{ rpki, irr rov.Status }
 	statuses := make([]status, len(origs))
-	parallel.ForEach(len(origs), cfg.Workers, func(i int) {
+	err := parallel.ForEachCtx(ctx, len(origs), cfg.Workers, func(i int) {
 		og := origs[i]
 		statuses[i] = status{
 			rpki: validate(cfg.RPKI, og.Prefix, og.Origin),
 			irr:  validate(cfg.IRR, og.Prefix, og.Origin),
 		}
 	})
+	if err != nil {
+		return nil, fmt.Errorf("ihr: classify originations: %w", err)
+	}
 
 	// Stage 2: group by treeKey. Propagation depends on the origin and on
 	// the pair's validation statuses (the only inputs to the filters), so
@@ -179,12 +192,15 @@ func Build(cfg Config) (*Dataset, error) {
 
 	// Stage 3: propagate one route tree per unique key across the pool.
 	trees := make([]*astopo.RouteTree, len(reps))
-	parallel.ForEach(len(reps), cfg.Workers, func(s int) {
+	err = parallel.ForEachCtx(ctx, len(reps), cfg.Workers, func(s int) {
 		og := origs[reps[s]]
 		st := statuses[reps[s]]
 		filter := makeFilter(cfg.Graph, cfg.Policies, st.rpki, st.irr)
 		trees[s] = cfg.Graph.Propagate(og.Prefix, og.Origin, filter)
 	})
+	if err != nil {
+		return nil, fmt.Errorf("ihr: propagate route trees: %w", err)
+	}
 
 	// Stage 4: derive each origination's rows into per-index slots.
 	type rowResult struct {
@@ -193,7 +209,7 @@ func Build(cfg Config) (*Dataset, error) {
 		transits []TransitRow
 	}
 	results := make([]rowResult, len(origs))
-	parallel.ForEach(len(origs), cfg.Workers, func(i int) {
+	err = parallel.ForEachCtx(ctx, len(origs), cfg.Workers, func(i int) {
 		og := origs[i]
 		st := statuses[i]
 		tree := trees[keyIdx[i]]
@@ -228,6 +244,9 @@ func Build(cfg Config) (*Dataset, error) {
 		}
 		results[i] = res
 	})
+	if err != nil {
+		return nil, fmt.Errorf("ihr: derive dataset rows: %w", err)
+	}
 
 	// Stage 5: merge in input order, then impose total orders so the
 	// dataset is byte-identical regardless of worker count.

@@ -81,6 +81,12 @@ func (s *QueryServer) Close() error {
 	return s.srv.Close()
 }
 
+// Shutdown stops the listener and waits for in-flight queries to
+// finish, force-closing whatever remains when ctx expires.
+func (s *QueryServer) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
 func (s *QueryServer) ensureIndex() {
 	s.mu.Lock()
 	defer s.mu.Unlock()

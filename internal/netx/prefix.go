@@ -38,7 +38,9 @@ func ParsePrefix(s string) (Prefix, error) {
 }
 
 // MustParsePrefix is ParsePrefix for statically known inputs; it panics on
-// error and is intended for tests and table literals.
+// error. It is confined to tests, examples, and compile-time table
+// literals — library code that consumes runtime data must use
+// ParsePrefix and surface the error instead of panicking.
 func MustParsePrefix(s string) Prefix {
 	p, err := ParsePrefix(s)
 	if err != nil {

@@ -3,13 +3,42 @@
 // of goroutines. Results are always written to caller-owned, per-index
 // slots, so every user of this package is deterministic by construction —
 // worker count changes scheduling, never output.
+//
+// The context-aware variants (ForEachCtx, ForEachErrCtx) add the failure
+// semantics long-running pipelines need: workers stop dispatching new
+// items once the context is done, and a panic in any item is recovered
+// into a per-index PanicError instead of crashing the process. Error
+// selection is by lowest index, so the reported failure is deterministic
+// regardless of scheduling.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is a panic recovered from a worker item, converted into an
+// error so one bad item cannot crash the whole fan-out. It records the
+// index that panicked, the recovered value, and the goroutine stack at
+// the point of the panic.
+type PanicError struct {
+	// Index is the item index whose function panicked.
+	Index int
+	// Value is the value passed to panic().
+	Value any
+	// Stack is the formatted goroutine stack captured inside recover.
+	Stack []byte
+}
+
+// Error renders the panic with its stack, so a log line carries enough
+// to debug the crash even though the process survived it.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: panic at index %d: %v\n%s", e.Index, e.Value, e.Stack)
+}
 
 // Workers normalizes a worker-count option: values ≤ 0 mean "one worker
 // per available CPU" (GOMAXPROCS), and the count is never larger than n,
@@ -74,6 +103,86 @@ func ForEachErr(n, workers int, fn func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// ForEachCtx is ForEach with cancellation and panic isolation: workers
+// check ctx between items and stop dispatching new ones once it is done
+// (items already started run to completion), and a panicking item is
+// recovered into a *PanicError instead of crashing the process.
+//
+// The returned error is deterministic: the *PanicError of the lowest
+// index that panicked, else the context's cancellation cause when not
+// every item ran, else nil.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	return ForEachErrCtx(ctx, n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+}
+
+// ForEachErrCtx is the fallible, context-aware fan-out underlying
+// ForEachCtx. Every dispatched item runs even when earlier ones fail
+// (per-index slots stay independently valid); only cancellation stops
+// dispatch. Panics are recovered into *PanicError values carrying the
+// stack.
+//
+// Error selection is by lowest index among failed items, so the reported
+// error does not depend on scheduling. When the context is canceled
+// before every item could run and no item failed, the context's cause is
+// returned.
+func ForEachErrCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	var dispatched atomic.Int64
+	run := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		errs[i] = fn(i)
+	}
+
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
+			dispatched.Add(1)
+			run(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					dispatched.Add(1)
+					run(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if int(dispatched.Load()) < n {
+		return context.Cause(ctx)
 	}
 	return nil
 }

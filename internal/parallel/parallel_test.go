@@ -1,10 +1,13 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersNormalization(t *testing.T) {
@@ -62,5 +65,122 @@ func TestForEachErrReturnsLowestIndexError(t *testing.T) {
 	}
 	if err := ForEachErr(10, 4, func(int) error { return nil }); err != nil {
 		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+// TestForEachErrCtxPanicLowestIndex injects panics at several indexes
+// and requires the deterministic lowest-index PanicError, with the
+// stack attached, at every worker count.
+func TestForEachErrCtxPanicLowestIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		err := ForEachErrCtx(context.Background(), 50, workers, func(i int) error {
+			switch i {
+			case 11, 29, 41:
+				panic("boom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 11 {
+			t.Errorf("workers=%d: panic index = %d, want 11 (lowest)", workers, pe.Index)
+		}
+		if pe.Value != "boom" {
+			t.Errorf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "boom") {
+			t.Errorf("workers=%d: PanicError lacks stack or message: %q", workers, pe.Error())
+		}
+	}
+}
+
+// TestForEachErrCtxErrorBeatsLaterPanic mixes plain errors and panics:
+// the lowest failing index wins regardless of failure kind.
+func TestForEachErrCtxErrorBeatsLaterPanic(t *testing.T) {
+	errLow := errors.New("low")
+	err := ForEachErrCtx(context.Background(), 20, 4, func(i int) error {
+		if i == 3 {
+			return errLow
+		}
+		if i == 7 {
+			panic("later")
+		}
+		return nil
+	})
+	if err != errLow {
+		t.Errorf("err = %v, want the index-3 error", err)
+	}
+}
+
+// TestForEachErrCtxCancelStopsDispatch cancels mid-run and requires
+// that dispatch stops: not every index runs, and the reported error is
+// the cancellation cause.
+func TestForEachErrCtxCancelStopsDispatch(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10000
+		err := ForEachErrCtx(ctx, n, workers, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Errorf("workers=%d: all %d items ran despite cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+// TestForEachErrCtxPreCanceled: a context canceled before the call
+// dispatches nothing and returns the cause.
+func TestForEachErrCtxPreCanceled(t *testing.T) {
+	cause := errors.New("deadline blown")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	ran := false
+	err := ForEachErrCtx(ctx, 8, 4, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, cause) {
+		t.Errorf("err = %v, want cause %v", err, cause)
+	}
+	if ran {
+		t.Error("items dispatched under a pre-canceled context")
+	}
+}
+
+// TestForEachCtxNoGoroutineLeak runs canceled and panicking fan-outs and
+// requires the goroutine count to return to baseline — the pool must
+// always reap its workers. Run under -race in the check gate.
+func TestForEachCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 20; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = ForEachErrCtx(ctx, 500, 8, func(i int) error {
+			if i == 10 {
+				cancel()
+			}
+			if i%97 == 0 {
+				panic(i)
+			}
+			return nil
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
 	}
 }

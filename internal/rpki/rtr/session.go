@@ -98,6 +98,12 @@ func (s *Server) Close() error {
 	return s.srv.Close()
 }
 
+// Shutdown stops the listener and waits for in-flight sessions to
+// finish, force-closing whatever remains when ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
 // serve handles one client connection: each query gets its response;
 // unknown PDUs get an Error Report and the connection ends.
 func (s *Server) serve(conn net.Conn) error {

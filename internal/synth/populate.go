@@ -1,6 +1,7 @@
 package synth
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -39,8 +40,12 @@ func newAllocator() *allocator {
 	}
 }
 
-func rirBlock(r rpki.RIR) netx.Prefix {
-	return netx.MustParsePrefix(fmt.Sprintf("%d.0.0.0/5", 16+8*int(r)))
+func rirBlock(r rpki.RIR) (netx.Prefix, error) {
+	p, err := netx.ParsePrefix(fmt.Sprintf("%d.0.0.0/5", 16+8*int(r)))
+	if err != nil {
+		return netx.Prefix{}, fmt.Errorf("synth: RIR %s block: %w", r, err)
+	}
+	return p, nil
 }
 
 func (a *allocator) take13(r rpki.RIR) (netx.Prefix, error) {
@@ -49,7 +54,11 @@ func (a *allocator) take13(r rpki.RIR) (netx.Prefix, error) {
 		return netx.Prefix{}, fmt.Errorf("synth: RIR %s out of /13 blocks", r)
 	}
 	a.next13[r] = i + 1
-	return rirBlock(r).NthSubprefix(13, i)
+	block, err := rirBlock(r)
+	if err != nil {
+		return netx.Prefix{}, err
+	}
+	return block.NthSubprefix(13, i)
 }
 
 func (a *allocator) take18(r rpki.RIR) (netx.Prefix, error) {
@@ -690,11 +699,18 @@ const dsCacheCap = 16
 // one per CPU). The graph is never mutated, so any number of builds may
 // run concurrently over one World.
 func (w *World) BuildDatasetAt(t time.Time, workers int) (*ihr.Dataset, error) {
+	return w.BuildDatasetAtCtx(context.Background(), t, workers)
+}
+
+// BuildDatasetAtCtx is BuildDatasetAt with cancellation: the build's
+// fan-out stages stop dispatching once ctx is done and the cancellation
+// cause is returned instead of a partial dataset.
+func (w *World) BuildDatasetAtCtx(ctx context.Context, t time.Time, workers int) (*ihr.Dataset, error) {
 	rpkiIx, irrIx, err := w.IndexesAt(t)
 	if err != nil {
 		return nil, err
 	}
-	return ihr.Build(ihr.Config{
+	return ihr.BuildCtx(ctx, ihr.Config{
 		Graph:         w.Graph,
 		RPKI:          rpkiIx,
 		IRR:           irrIx,
@@ -717,6 +733,13 @@ func (w *World) DatasetAt(t time.Time) (*ihr.Dataset, error) {
 // underlying build. The cache is keyed by date only: the build result is
 // identical for every worker count.
 func (w *World) DatasetAtWorkers(t time.Time, workers int) (*ihr.Dataset, error) {
+	return w.DatasetAtCtx(context.Background(), t, workers)
+}
+
+// DatasetAtCtx is DatasetAtWorkers with cancellation threaded into the
+// underlying build. Canceled builds are never cached, so a later call
+// with a live context rebuilds the snapshot from scratch.
+func (w *World) DatasetAtCtx(ctx context.Context, t time.Time, workers int) (*ihr.Dataset, error) {
 	key := t.Unix()
 	w.dsMu.Lock()
 	if ds, ok := w.dsCache[key]; ok {
@@ -725,7 +748,7 @@ func (w *World) DatasetAtWorkers(t time.Time, workers int) (*ihr.Dataset, error)
 	}
 	w.dsMu.Unlock()
 
-	ds, err := w.BuildDatasetAt(t, workers)
+	ds, err := w.BuildDatasetAtCtx(ctx, t, workers)
 	if err != nil {
 		return nil, err
 	}

@@ -214,7 +214,10 @@ func Generate(cfg Config) (*World, error) {
 	taFrom := time.Date(2011, 1, 1, 0, 0, 0, 0, time.UTC)
 	taTo := time.Date(2040, 1, 1, 0, 0, 0, 0, time.UTC)
 	for _, r := range rpki.AllRIRs {
-		block := netx.MustParsePrefix(fmt.Sprintf("%d.0.0.0/5", 16+8*int(r)))
+		block, err := rirBlock(r)
+		if err != nil {
+			return nil, err
+		}
 		ca, err := rpki.NewTrustAnchor(r, []netx.Prefix{block}, taFrom, taTo)
 		if err != nil {
 			return nil, err
@@ -232,7 +235,10 @@ func Generate(cfg Config) (*World, error) {
 	radb := irr.NewDatabase("RADB")
 	w.IRRRegistry.AddDatabase(radb)
 
-	infos := w.buildTopology(rng)
+	infos, err := w.buildTopology(rng)
+	if err != nil {
+		return nil, err
+	}
 	w.assignMembership(rng, infos)
 	alloc := newAllocator()
 	for _, info := range infos {
@@ -297,8 +303,10 @@ func pickRIR(rng *rand.Rand, class manrs.SizeClass, cdn bool) rpki.RIR {
 }
 
 // buildTopology creates orgs, ASes and the relationship graph and
-// returns per-AS info records, in ASN order.
-func (w *World) buildTopology(rng *rand.Rand) []*asInfo {
+// returns per-AS info records, in ASN order. A wiring conflict (a link
+// the graph refuses) is a generator bug surfaced as an error, not a
+// panic: world generation is a library entry point.
+func (w *World) buildTopology(rng *rand.Rand) ([]*asInfo, error) {
 	var infos []*asInfo
 	nextASN := uint32(100)
 	newAS := func(class manrs.SizeClass, cdn bool, orgSize int) *asInfo {
@@ -363,9 +371,13 @@ func (w *World) buildTopology(rng *rand.Rand) []*asInfo {
 		smalls = append(smalls, newAS(manrs.Small, false, 1))
 	}
 
+	// must records the first wiring failure; the remaining wiring still
+	// runs (every call is independent) and the error surfaces once at the
+	// end, through Generate.
+	var wireErr error
 	must := func(err error) {
-		if err != nil {
-			panic(fmt.Sprintf("synth: topology wiring: %v", err))
+		if err != nil && wireErr == nil {
+			wireErr = fmt.Errorf("synth: topology wiring: %w", err)
 		}
 	}
 	// Tier-1 full mesh.
@@ -451,7 +463,10 @@ func (w *World) buildTopology(rng *rand.Rand) []*asInfo {
 	for _, info := range infos {
 		info.class = manrs.ClassifySize(w.Graph.CustomerDegree(info.asn))
 	}
-	return infos
+	if wireErr != nil {
+		return nil, wireErr
+	}
+	return infos, nil
 }
 
 // assignMembership picks MANRS participants per cohort and assigns join

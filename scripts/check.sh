@@ -6,11 +6,16 @@
 #   vet    — static analysis
 #   build  — every package and command compiles
 #   race   — full test suite under the race detector (includes the
-#            chaos suites driving each daemon through injected faults)
+#            chaos suites driving each daemon through injected faults),
+#            then an explicit pass over the failure-semantics gates:
+#            the section-timeout chaos test (every report section
+#            stalled past its watchdog) and the parallel-pool
+#            goroutine-leak test
 #   bench  — single-iteration smoke of the dataset-build benchmarks,
 #            so the parallel build paths stay exercised pre-merge
-#   fuzz   — short smoke of the BGP wire-format fuzzers, so decoder
-#            regressions on malformed input surface before merge
+#   fuzz   — short smoke of the BGP wire-format and MRT-reader fuzzers,
+#            so decoder regressions on malformed input surface before
+#            merge
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -32,11 +37,16 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> section-timeout chaos + goroutine-leak gates (-race)"
+go test -race -count=1 -run '^TestRunReportSectionTimeoutChaos$|^TestRunReportCancelDrains$' .
+go test -race -count=1 -run '^TestForEachCtxNoGoroutineLeak$' ./internal/parallel
+
 echo "==> bench smoke (1 iteration per dataset-build bench)"
 go test -run '^$' -bench 'BuildDataset|DatasetBuild' -benchtime 1x .
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzDecodeAttributes$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
+go test -run '^$' -fuzz '^FuzzReadAll$' -fuzztime "$FUZZTIME" ./internal/bgp/mrt
 
 echo "==> all checks passed"
