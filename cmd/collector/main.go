@@ -7,11 +7,18 @@
 // Usage:
 //
 //	collector -listen 127.0.0.1:1790 -asn 65000 -out rib.mrt [-interval 5m]
+//	          [-admin 127.0.0.1:9790]
+//
+// With -admin ADDR an observability endpoint serves /metrics
+// (Prometheus text: routes received/withdrawn, MRT bytes, peer
+// sessions), /healthz (live peer and RIB counts) and /debug/pprof/.
+// Bind it to loopback: it carries no authentication.
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -20,6 +27,7 @@ import (
 
 	"manrsmeter/internal/bgp/bmp"
 	"manrsmeter/internal/bgp/collector"
+	"manrsmeter/internal/obsv"
 )
 
 func main() {
@@ -33,6 +41,7 @@ func main() {
 	holdTime := flag.Duration("hold-time", 90*time.Second, "advertised BGP hold time; silent peers are torn down and their routes withdrawn")
 	maxPeers := flag.Int("max-peers", 0, "cap on concurrent peer connections (0 = unlimited)")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for peer sessions to wind down at shutdown; whatever remains is force-closed")
+	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
 	flag.Parse()
 
 	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255},
@@ -52,6 +61,25 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("accepting BMP feeds on %s", bmpAddr)
+	}
+
+	var adm *obsv.Admin
+	if *admin != "" {
+		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
+			h := obsv.Health{OK: true, Detail: map[string]string{
+				"peers":  fmt.Sprint(c.NumPeers()),
+				"routes": fmt.Sprint(c.RIB().Len()),
+			}}
+			if station != nil {
+				h.Detail["bmp_routers"] = fmt.Sprint(len(station.Routers()))
+				h.Detail["bmp_peers_up"] = fmt.Sprint(station.PeersUp())
+			}
+			return h
+		})
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		log.Printf("admin endpoint on http://%s", adm.Addr())
 	}
 
 	dump := func() {
@@ -91,6 +119,11 @@ func main() {
 		if station != nil {
 			if err := station.Shutdown(drainCtx); err != nil {
 				log.Printf("shutdown BMP: %v", err)
+			}
+		}
+		if adm != nil {
+			if err := adm.Shutdown(drainCtx); err != nil {
+				log.Printf("shutdown admin: %v", err)
 			}
 		}
 	}

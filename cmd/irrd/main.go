@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	irrd -listen 127.0.0.1:4343 ripe.db radb.db
+//	irrd -listen 127.0.0.1:4343 [-admin 127.0.0.1:9343] ripe.db radb.db
 //	irrd -query '!gAS64500' ripe.db             # one-shot, no server
+//
+// With -admin ADDR an observability endpoint serves /metrics
+// (Prometheus text, including irr_query_seconds latency), /healthz and
+// /debug/pprof/. Bind it to loopback: it carries no authentication.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"time"
 
 	"manrsmeter/internal/irr"
+	"manrsmeter/internal/obsv"
 )
 
 func main() {
@@ -30,6 +35,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:4343", "listen address")
 	query := flag.String("query", "", "answer one query against the loaded databases and exit")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for in-flight queries at shutdown; whatever remains is force-closed")
+	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("no database dumps given")
@@ -71,6 +77,21 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("serving %d route objects on %s", registry.NumRoutes(), addr)
+
+	var adm *obsv.Admin
+	if *admin != "" {
+		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
+			return obsv.Health{OK: true, Detail: map[string]string{
+				"databases": fmt.Sprint(flag.NArg()),
+				"routes":    fmt.Sprint(registry.NumRoutes()),
+			}}
+		})
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		log.Printf("admin endpoint on http://%s", adm.Addr())
+	}
+
 	// SIGINT/SIGTERM drain in-flight queries for up to -drain before
 	// force-closing them; a second signal kills the process via the
 	// restored default handler.
@@ -80,7 +101,13 @@ func main() {
 	log.Printf("shutting down (draining up to %v)", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	err = srv.Shutdown(drainCtx)
+	if adm != nil {
+		if aerr := adm.Shutdown(drainCtx); aerr != nil {
+			log.Printf("shutdown admin: %v", aerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

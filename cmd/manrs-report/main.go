@@ -5,12 +5,18 @@
 // Usage:
 //
 //	manrs-report [-seed N] [-scale small|full] [-skip-stability] [-weeks N]
-//	             [-workers N] [-trace] [-cpuprofile FILE]
+//	             [-workers N] [-trace] [-cpuprofile FILE] [-admin ADDR]
 //	             [-timeout D] [-section-timeout D] [-continue-on-error]
 //
 // SIGINT/SIGTERM cancel the run: in-flight sections are asked to stop,
 // and with -continue-on-error the sections already completed are still
 // flushed (with a health trailer) before exit.
+//
+// With -admin ADDR an observability endpoint serves /metrics (Prometheus
+// text), /healthz (live per-section statuses, the same state the health
+// trailer renders at the end), /debug/pprof/ and /debug/trace (the span
+// tree of the run so far) for the duration of the run. Bind it to
+// loopback: it carries no authentication.
 package main
 
 import (
@@ -18,15 +24,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"os"
 	"os/signal"
 	"runtime/pprof"
+	"sync"
 	"syscall"
 	"time"
 
 	"manrsmeter"
+	"manrsmeter/internal/obsv"
 )
 
 func main() {
@@ -37,23 +44,37 @@ func main() {
 	skipStability := flag.Bool("skip-stability", false, "skip the §8.5 weekly-snapshot analysis")
 	weeks := flag.Int("weeks", 12, "weekly snapshots for the stability analysis")
 	workers := flag.Int("workers", 0, "worker goroutines for the analysis (0 = one per CPU)")
-	trace := flag.Bool("trace", false, "print per-section wall times to stderr")
+	trace := flag.Bool("trace", false, "print the span tree of the run (sections, pipeline, dataset builds) to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address for the duration of the run")
 	timeout := flag.Duration("timeout", 0, "overall deadline for the whole run (0 = none)")
 	sectionTimeout := flag.Duration("section-timeout", 0, "watchdog deadline per report section (0 = none)")
 	continueOnError := flag.Bool("continue-on-error", false, "render diagnostic stanzas for failed sections instead of aborting; ends the report with a health trailer")
 	flag.Parse()
 
+	// stopProfile flushes and closes the CPU profile exactly once, on
+	// whichever exit path runs first (deferred return, cancellation, or
+	// error exit before the deferred calls run via log.Fatal).
+	stopProfile := func() {}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
 			log.Fatalf("cpuprofile: %v", err)
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
 			log.Fatalf("cpuprofile: %v", err)
 		}
-		defer pprof.StopCPUProfile()
+		var once sync.Once
+		stopProfile = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				if err := f.Close(); err != nil {
+					log.Printf("cpuprofile: close: %v", err)
+				}
+			})
+		}
+		defer stopProfile()
 	}
 
 	// SIGINT/SIGTERM cancel the context; a second signal kills the
@@ -74,24 +95,76 @@ func main() {
 		SectionTimeout:  *sectionTimeout,
 		ContinueOnError: *continueOnError,
 	}
-	err := run(ctx, *seed, *scale, opts, *trace)
+	err := run(ctx, *seed, *scale, opts, *trace, *admin)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		pprof.StopCPUProfile()
+		stopProfile()
 		log.Fatalf("canceled: %v", err)
 	}
 	if err != nil {
-		pprof.StopCPUProfile() // flush before the non-deferred exit
+		stopProfile() // flush before the non-deferred exit
 		log.Fatal(err)
 	}
 }
 
-func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOptions, trace bool) error {
+// sectionHealth tracks live per-section statuses for /healthz — the
+// same states the ContinueOnError health trailer renders at the end of
+// the run.
+type sectionHealth struct {
+	mu       sync.Mutex
+	statuses map[string]string
+}
+
+func (h *sectionHealth) observe(name, status string, _ time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.statuses == nil {
+		h.statuses = make(map[string]string)
+	}
+	h.statuses[name] = status
+}
+
+func (h *sectionHealth) health() obsv.Health {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := obsv.Health{OK: true, Detail: make(map[string]string, len(h.statuses)+1)}
+	done := 0
+	for name, status := range h.statuses {
+		out.Detail["section."+name] = status
+		if status != "ok" {
+			out.OK = false
+		}
+		done++
+	}
+	out.Detail["sections_finished"] = fmt.Sprint(done)
+	return out
+}
+
+func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOptions, trace bool, admin string) error {
 	cfg := manrsmeter.DefaultConfig(seed)
 	if scale == "small" {
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
 		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
 	} else if scale != "full" {
 		return fmt.Errorf("unknown -scale %q (want small or full)", scale)
+	}
+
+	tracer := obsv.NewTracer()
+	health := &sectionHealth{}
+	opts.Tracer = tracer
+	opts.SectionObserver = health.observe
+
+	if admin != "" {
+		adm := &obsv.Admin{Tracer: tracer, Healthz: health.health}
+		addr, err := adm.Listen(admin)
+		if err != nil {
+			return fmt.Errorf("admin endpoint: %w", err)
+		}
+		log.Printf("admin endpoint on http://%s", addr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = adm.Shutdown(sctx)
+		}()
 	}
 
 	start := time.Now()
@@ -103,13 +176,18 @@ func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOp
 		world.Graph.NumASes(), world.MANRS.Len(), world.Repo.NumROAs(),
 		world.IRRRegistry.NumRoutes(), time.Since(start).Seconds())
 
-	var traceW io.Writer
+	reportErr := manrsmeter.RunReportCtx(ctx, os.Stdout, world, opts)
 	if trace {
-		traceW = os.Stderr
+		// The span tree replaces the old flat -trace wall-time lines:
+		// sections nest under the report root with their status, and
+		// pipeline/dataset builds nest under the sections that paid for
+		// them.
+		if err := tracer.WriteTree(os.Stderr); err != nil {
+			log.Printf("trace: %v", err)
+		}
 	}
-	opts.Trace = traceW
-	if err := manrsmeter.RunReportCtx(ctx, os.Stdout, world, opts); err != nil {
-		return fmt.Errorf("report: %w", err)
+	if reportErr != nil {
+		return fmt.Errorf("report: %w", reportErr)
 	}
 	return nil
 }

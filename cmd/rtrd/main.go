@@ -5,8 +5,12 @@
 //
 // Usage:
 //
-//	rtrd -vrps vrps.csv -listen 127.0.0.1:8282
+//	rtrd -vrps vrps.csv -listen 127.0.0.1:8282 [-admin 127.0.0.1:9282]
 //	rtrd -fetch 127.0.0.1:8282
+//
+// With -admin ADDR an observability endpoint serves /metrics
+// (Prometheus text), /healthz (session/serial state) and
+// /debug/pprof/. Bind it to loopback: it carries no authentication.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/rpki"
 	"manrsmeter/internal/rpki/rtr"
 )
@@ -32,6 +37,7 @@ func main() {
 	retries := flag.Int("retries", 5, "with -fetch: dial attempts before giving up (cache may be restarting)")
 	timeout := flag.Duration("timeout", 30*time.Second, "with -fetch: overall fetch deadline")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for client sessions to finish at shutdown; whatever remains is force-closed")
+	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
 	flag.Parse()
 
 	if *fetch != "" {
@@ -68,6 +74,20 @@ func main() {
 	}
 	log.Printf("serving %d VRPs on %s (RTR v%d)", len(vrps), addr, rtr.Version)
 
+	var adm *obsv.Admin
+	if *admin != "" {
+		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
+			return obsv.Health{OK: true, Detail: map[string]string{
+				"serial": fmt.Sprint(srv.Serial()),
+				"vrps":   fmt.Sprint(len(vrps)),
+			}}
+		})
+		if err != nil {
+			log.Fatalf("admin endpoint: %v", err)
+		}
+		log.Printf("admin endpoint on http://%s", adm.Addr())
+	}
+
 	// SIGINT/SIGTERM drain client sessions for up to -drain before
 	// force-closing them; a second signal kills the process via the
 	// restored default handler.
@@ -77,7 +97,13 @@ func main() {
 	log.Printf("shutting down (draining up to %v)", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	if err := srv.Shutdown(drainCtx); err != nil {
+	err = srv.Shutdown(drainCtx)
+	if adm != nil {
+		if aerr := adm.Shutdown(drainCtx); aerr != nil {
+			log.Printf("shutdown admin: %v", aerr)
+		}
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

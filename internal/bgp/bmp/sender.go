@@ -10,6 +10,24 @@ import (
 
 	"manrsmeter/internal/bgp/wire"
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
+)
+
+// Sender metrics: (re)connections to the station, the Peer Up replays
+// each reconnection performs, messages streamed, and queue overflow
+// drops — the station-side view of an outage is reconstructed from
+// exactly these.
+var (
+	mSenderConnects = obsv.NewCounter("bmp_sender_connects_total",
+		"station connections established (first connect included)")
+	mSenderReconnects = obsv.NewCounter("bmp_sender_reconnects_total",
+		"station connections beyond each Run's first — outage recoveries")
+	mSenderReplays = obsv.NewCounter("bmp_sender_peerups_replayed_total",
+		"Peer Up messages replayed after reconnecting")
+	mSenderMessages = obsv.NewCounter("bmp_sender_messages_total",
+		"messages written to the station")
+	mSenderDropped = obsv.NewCounter("bmp_sender_dropped_total",
+		"messages discarded because the queue was full while disconnected")
 )
 
 // Sender is the router side of BMP: it streams Initiation, Peer Up/Down
@@ -93,6 +111,7 @@ func (s *Sender) enqueue(msg Message) {
 		select {
 		case <-s.queue:
 			s.dropped.Add(1)
+			mSenderDropped.Inc()
 		default:
 		}
 	}
@@ -104,6 +123,7 @@ func (s *Sender) requeue(msg Message) {
 	case s.queue <- msg:
 	default:
 		s.dropped.Add(1)
+		mSenderDropped.Inc()
 	}
 }
 
@@ -116,10 +136,19 @@ func (s *Sender) Run(ctx context.Context) error {
 	if wt <= 0 {
 		wt = 10 * time.Second
 	}
+	var connects atomic.Int64
 	return s.rd.Run(ctx, func(ctx context.Context, conn net.Conn) error {
+		if connects.Add(1) > 1 {
+			mSenderReconnects.Inc()
+		}
+		mSenderConnects.Inc()
 		write := func(m Message) error {
 			_ = conn.SetWriteDeadline(time.Now().Add(wt))
-			return Write(conn, m)
+			if err := Write(conn, m); err != nil {
+				return err
+			}
+			mSenderMessages.Inc()
+			return nil
 		}
 		if err := write(&Initiation{SysName: s.SysName, SysDesc: s.SysDesc}); err != nil {
 			return err
@@ -135,6 +164,7 @@ func (s *Sender) Run(ctx context.Context) error {
 			if err := write(&replay[i]); err != nil {
 				return err
 			}
+			mSenderReplays.Inc()
 		}
 		for {
 			select {

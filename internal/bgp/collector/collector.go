@@ -25,6 +25,30 @@ import (
 	"manrsmeter/internal/bgp"
 	"manrsmeter/internal/bgp/mrt"
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
+)
+
+// Collector metrics: peer session lifecycle, route churn absorbed into
+// the RIB, and MRT snapshot output. Dead feeds (hold-timer expiries
+// followed by withdrawals) and dump anomalies (skipped routes) are the
+// failure modes the paper's longitudinal collection cares about.
+var (
+	mPeerSessions = obsv.NewCounter("collector_peer_sessions_total",
+		"BGP peer sessions that completed the handshake")
+	mPeersActive = obsv.NewGauge("collector_peers_active",
+		"peer sessions currently established")
+	mRoutesReceived = obsv.NewCounter("collector_routes_received_total",
+		"prefixes announced across all UPDATE messages")
+	mRoutesWithdrawn = obsv.NewCounter("collector_routes_withdrawn_total",
+		"prefixes withdrawn across all UPDATE messages")
+	mHoldExpired = obsv.NewCounter("collector_hold_expired_total",
+		"peer sessions torn down by the hold timer (routes withdrawn)")
+	mMRTDumps = obsv.NewCounter("collector_mrt_dumps_total",
+		"MRT snapshots written")
+	mMRTBytes = obsv.NewCounter("collector_mrt_bytes_written_total",
+		"bytes of MRT snapshot output written")
+	mMRTSkipped = obsv.NewCounter("collector_mrt_routes_skipped_total",
+		"routes skipped by DumpMRT because their peer registered mid-dump")
 )
 
 // Collector accepts peerings and accumulates routes. Create with New.
@@ -132,6 +156,9 @@ func (c *Collector) servePeer(ctx context.Context, conn net.Conn) {
 	c.mu.Lock()
 	c.peers[sess.PeerASN()] = peerAddr(conn)
 	c.mu.Unlock()
+	mPeerSessions.Inc()
+	mPeersActive.Inc()
+	defer mPeersActive.Dec()
 
 	for {
 		update, err := sess.Recv()
@@ -140,10 +167,13 @@ func (c *Collector) servePeer(ctx context.Context, conn net.Conn) {
 				// Dead feed: its routes are stale, withdraw them. The
 				// peer stays in the peer table so earlier dumps remain
 				// attributable.
-				c.rib.RemovePeer(sess.PeerASN())
+				mHoldExpired.Inc()
+				mRoutesWithdrawn.Add(int64(c.rib.RemovePeer(sess.PeerASN())))
 			}
 			return // otherwise routes learned so far stay (archival RIB)
 		}
+		mRoutesReceived.Add(int64(len(update.NLRI) + len(update.MPReach)))
+		mRoutesWithdrawn.Add(int64(len(update.Withdrawn) + len(update.MPUnreach)))
 		c.rib.Apply(sess.PeerASN(), update)
 	}
 }
@@ -201,7 +231,12 @@ func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.T
 	})
 	sort.Slice(order, func(i, j int) bool { return order[i].Compare(order[j]) < 0 })
 
-	mw := mrt.NewWriter(w, ts)
+	cw := &countingWriter{w: w}
+	defer func() {
+		mMRTBytes.Add(cw.n)
+		mMRTDumps.Inc()
+	}()
+	mw := mrt.NewWriter(cw, ts)
 	if err := mw.WritePeerIndexTable(c.cfg.BGPID, "collector-rib", peers); err != nil {
 		return err
 	}
@@ -213,6 +248,7 @@ func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.T
 			idx, ok := peerIdx[r.PeerASN]
 			if !ok {
 				c.dumpSkipped.Add(1)
+				mMRTSkipped.Inc()
 				continue
 			}
 			entries = append(entries, mrt.RIBEntry{
@@ -229,4 +265,17 @@ func (c *Collector) DumpMRT(w interface{ Write([]byte) (int, error) }, ts time.T
 		}
 	}
 	return nil
+}
+
+// countingWriter tallies bytes written through it for the MRT output
+// counter.
+type countingWriter struct {
+	w interface{ Write([]byte) (int, error) }
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }

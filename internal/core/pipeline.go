@@ -12,6 +12,7 @@ import (
 
 	"manrsmeter/internal/ihr"
 	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/synth"
 )
 
@@ -54,17 +55,23 @@ func NewPipelineWith(w *synth.World, opts Options) (*Pipeline, error) {
 // the headline dataset build: a canceled context aborts construction
 // with the cancellation cause instead of finishing the build.
 func NewPipelineCtx(ctx context.Context, w *synth.World, opts Options) (*Pipeline, error) {
+	ctx, span := obsv.StartSpan(ctx, "pipeline.build")
+	defer span.End()
 	asOf := w.Date(w.Config.EndYear)
+	span.SetAttr("asof", asOf.Format("2006-01-02"))
 	ds, err := w.DatasetAtCtx(ctx, asOf, opts.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: build dataset: %w", err)
 	}
+	_, mspan := obsv.StartSpan(ctx, "pipeline.metrics")
+	m := manrs.ComputeMetrics(ds)
+	mspan.End()
 	return &Pipeline{
 		World:   w,
 		AsOf:    asOf,
 		Workers: opts.Workers,
 		ds:      ds,
-		metrics: manrs.ComputeMetrics(ds),
+		metrics: m,
 	}, nil
 }
 

@@ -11,7 +11,28 @@ import (
 	"time"
 
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/rpsl"
+)
+
+// Query-server metrics: session lifecycle plus per-kind query counts
+// and answer latency. The latency histogram covers answer computation
+// (index build included on first use), not client I/O.
+var (
+	mWhoisSessions = obsv.NewCounter("irr_sessions_total",
+		"whois client sessions accepted")
+	mWhoisSessionsActive = obsv.NewGauge("irr_sessions_active",
+		"whois client sessions currently connected")
+	mWhoisQueryLatency = obsv.NewHistogram("irr_query_seconds",
+		"latency of computing one query answer", nil)
+	mWhoisQueries = func() map[string]*obsv.Counter {
+		m := make(map[string]*obsv.Counter)
+		for _, kind := range []string{"origin", "as-set", "route", "invalid"} {
+			m[kind] = obsv.NewCounter("irr_queries_total",
+				"queries answered by kind", "kind", kind)
+		}
+		return m
+	}()
 )
 
 // QueryServer answers IRRd-style queries over TCP — the protocol
@@ -122,6 +143,9 @@ func (s *QueryServer) ensureIndex() {
 }
 
 func (s *QueryServer) serve(conn net.Conn) {
+	mWhoisSessions.Inc()
+	mWhoisSessionsActive.Inc()
+	defer mWhoisSessionsActive.Dec()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 4096), 1<<20)
 	bw := bufio.NewWriter(conn)
@@ -151,8 +175,11 @@ func (s *QueryServer) Answer(query string) string {
 }
 
 func (s *QueryServer) answer(bw *bufio.Writer, line string) {
+	start := time.Now()
+	defer func() { mWhoisQueryLatency.Observe(time.Since(start).Seconds()) }()
 	switch {
 	case strings.HasPrefix(line, "!g"), strings.HasPrefix(line, "!6"):
+		mWhoisQueries["origin"].Inc()
 		asn, err := rpsl.ParseASN(strings.TrimSpace(line[2:]))
 		if err != nil {
 			fmt.Fprintf(bw, "F invalid AS number\n")
@@ -178,6 +205,7 @@ func (s *QueryServer) answer(bw *bufio.Writer, line string) {
 		sb.WriteByte('\n')
 		writeData(bw, sb.String())
 	case strings.HasPrefix(line, "!i"):
+		mWhoisQueries["as-set"].Inc()
 		arg := strings.TrimSpace(line[2:])
 		recursive := false
 		if strings.HasSuffix(arg, ",1") {
@@ -208,6 +236,7 @@ func (s *QueryServer) answer(bw *bufio.Writer, line string) {
 		}
 		writeData(bw, strings.Join(set.Members, " ")+"\n")
 	case strings.HasPrefix(line, "-x"):
+		mWhoisQueries["route"].Inc()
 		arg := strings.TrimSpace(strings.TrimPrefix(line, "-x"))
 		prefix, err := netx.ParsePrefix(arg)
 		if err != nil {
@@ -235,6 +264,7 @@ func (s *QueryServer) answer(bw *bufio.Writer, line string) {
 		}
 		writeData(bw, sb.String())
 	default:
+		mWhoisQueries["invalid"].Inc()
 		fmt.Fprintf(bw, "F unrecognized query\n")
 	}
 }

@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"manrsmeter/internal/obsv"
 )
 
 // Fault classes, used as keys in FaultInjector.Counts.
@@ -112,6 +114,7 @@ func (f *FaultInjector) hit(class string, prob float64) bool {
 		return false
 	}
 	f.counts[class]++
+	faultCounter(class).Inc()
 	return true
 }
 
@@ -119,6 +122,28 @@ func (f *FaultInjector) note(class string) {
 	f.mu.Lock()
 	f.counts[class]++
 	f.mu.Unlock()
+	faultCounter(class).Inc()
+}
+
+// faultCounters mirrors per-class injection counts onto the Default
+// registry, so a chaos run's admin endpoint (or test dump) shows which
+// fault classes actually fired. Counters are cached: note() sits on
+// injected-fault paths that can fire per I/O operation.
+var (
+	faultCountersMu sync.Mutex
+	faultCounters   = make(map[string]*obsv.Counter)
+)
+
+func faultCounter(class string) *obsv.Counter {
+	faultCountersMu.Lock()
+	defer faultCountersMu.Unlock()
+	c, ok := faultCounters[class]
+	if !ok {
+		c = obsv.NewCounter("faultnet_faults_total",
+			"injected faults by class", "class", class)
+		faultCounters[class] = c
+	}
+	return c
 }
 
 // intn draws from the shared schedule.

@@ -8,6 +8,8 @@ import (
 	"os"
 	"testing"
 	"time"
+
+	"manrsmeter/internal/obsv"
 )
 
 // tcpPair returns a connected TCP pair (client, server) so fault wrappers
@@ -212,5 +214,28 @@ func TestFaultConfigString(t *testing.T) {
 	s := FaultConfig{Seed: 1, AcceptFailEvery: 4}.String()
 	if s == "" {
 		t.Fatal("empty description")
+	}
+}
+
+// TestFaultCountersOnRegistry proves chaos runs are visible on the
+// process-global metrics registry: every injected fault increments
+// faultnet_faults_total{class=...} in addition to the injector's own
+// Counts. Counters are global, so the test asserts deltas.
+func TestFaultCountersOnRegistry(t *testing.T) {
+	before := obsv.Default().Value("faultnet_faults_total", "class", FaultReset)
+
+	_, server := tcpPair(t)
+	inj := NewFaultInjector(FaultConfig{Seed: 3, Reset: 1.0})
+	fc := inj.Conn(server)
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("write should fail with injected reset")
+	}
+
+	after := obsv.Default().Value("faultnet_faults_total", "class", FaultReset)
+	if after <= before {
+		t.Errorf("faultnet_faults_total{class=reset} = %d, want > %d", after, before)
+	}
+	if inj.Counts()[FaultReset] == 0 {
+		t.Error("injector's own count did not move")
 	}
 }

@@ -10,6 +10,22 @@ import (
 	"fmt"
 	"net"
 	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+// Redialer metrics: every retry (dial failure or broken session) and
+// the backoff pauses it scheduled, plus terminal give-ups. Feeds that
+// storm the retry path show up here before they show up as data gaps.
+var (
+	mRedialAttempts = obsv.NewCounter("netx_redial_attempts_total",
+		"connection attempts made by Redialer (first attempts included)")
+	mRedialRetries = obsv.NewCounter("netx_redial_retries_total",
+		"failed Redialer attempts that scheduled a backoff pause")
+	mRedialGiveUps = obsv.NewCounter("netx_redial_giveups_total",
+		"Redialer runs that exhausted MaxAttempts")
+	mRedialBackoff = obsv.NewHistogram("netx_redial_backoff_seconds",
+		"backoff pauses scheduled between Redialer attempts", nil)
 )
 
 // Redialer dials a remote with exponential backoff between attempts.
@@ -60,6 +76,7 @@ func (r *Redialer) Connect(ctx context.Context) (net.Conn, error) {
 	min, max := r.limits()
 	backoff := min
 	for attempt := 1; ; attempt++ {
+		mRedialAttempts.Inc()
 		conn, err := r.dialOnce(ctx)
 		if err == nil {
 			return conn, nil
@@ -68,8 +85,11 @@ func (r *Redialer) Connect(ctx context.Context) (net.Conn, error) {
 			return nil, ctx.Err()
 		}
 		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
+			mRedialGiveUps.Inc()
 			return nil, fmt.Errorf("netx: giving up after %d dial attempts: %w", attempt, err)
 		}
+		mRedialRetries.Inc()
+		mRedialBackoff.Observe(backoff.Seconds())
 		if r.OnRetry != nil {
 			r.OnRetry(attempt, err, backoff)
 		}
@@ -98,6 +118,7 @@ func (r *Redialer) Run(ctx context.Context, fn func(ctx context.Context, conn ne
 	attempt := 0
 	for {
 		attempt++
+		mRedialAttempts.Inc()
 		conn, err := r.dialOnce(ctx)
 		if err == nil {
 			if dl, ok := ctx.Deadline(); ok {
@@ -117,8 +138,11 @@ func (r *Redialer) Run(ctx context.Context, fn func(ctx context.Context, conn ne
 			return ctx.Err()
 		}
 		if r.MaxAttempts > 0 && attempt >= r.MaxAttempts {
+			mRedialGiveUps.Inc()
 			return fmt.Errorf("netx: giving up after %d attempts: %w", attempt, err)
 		}
+		mRedialRetries.Inc()
+		mRedialBackoff.Observe(backoff.Seconds())
 		if r.OnRetry != nil {
 			r.OnRetry(attempt, err, backoff)
 		}

@@ -7,9 +7,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"manrsmeter/internal/obsv"
 )
 
 func TestRedialerConnectBacksOffThenSucceeds(t *testing.T) {
+	retriesBefore := obsv.Default().Value("netx_redial_retries_total")
 	var dials atomic.Int64
 	var ln net.Listener
 	rd := &Redialer{
@@ -42,6 +45,9 @@ func TestRedialerConnectBacksOffThenSucceeds(t *testing.T) {
 	conn.Close()
 	if dials.Load() != 3 {
 		t.Errorf("dials = %d, want 3", dials.Load())
+	}
+	if d := obsv.Default().Value("netx_redial_retries_total") - retriesBefore; d < 2 {
+		t.Errorf("netx_redial_retries_total moved by %d, want >= 2", d)
 	}
 }
 

@@ -16,6 +16,23 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+// Harness metrics, aggregated across every Server in the process. The
+// per-daemon /healthz detail carries the per-server view; these make
+// harness-level anomalies (panic storms, accept churn, cap rejections)
+// scrapeable.
+var (
+	mServerAcceptRetries = obsv.NewCounter("netx_server_accept_retries_total",
+		"transient accept failures retried with backoff")
+	mServerPanics = obsv.NewCounter("netx_server_handler_panics_total",
+		"handler panics absorbed by the harness")
+	mServerRejected = obsv.NewCounter("netx_server_conns_rejected_total",
+		"connections refused by the MaxConns cap")
+	mServerConns = obsv.NewCounter("netx_server_conns_total",
+		"connections accepted and handed to a handler")
 )
 
 // Handler serves one accepted connection. The context is canceled when
@@ -105,6 +122,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			}
 			// Transient failure (EMFILE, injected fault): back off and
 			// keep the listener alive instead of abandoning the port.
+			mServerAcceptRetries.Inc()
 			if backoff == 0 {
 				backoff = 5 * time.Millisecond
 			} else if backoff < time.Second {
@@ -125,9 +143,11 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		backoff = 0
 		if !s.track(conn) {
 			s.rejected.Add(1)
+			mServerRejected.Inc()
 			conn.Close()
 			continue
 		}
+		mServerConns.Inc()
 		s.wg.Add(1)
 		go s.handle(conn)
 	}
@@ -157,6 +177,7 @@ func (s *Server) handle(conn net.Conn) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.panics.Add(1)
+			mServerPanics.Inc()
 			if s.Logf != nil {
 				s.Logf("netx: handler panic (connection dropped): %v", p)
 			}

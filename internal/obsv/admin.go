@@ -1,0 +1,198 @@
+package obsv
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Health is the answer to an admin /healthz probe. Detail keys render
+// sorted, one "key=value" line each, after the ok/degraded verdict.
+type Health struct {
+	OK     bool
+	Detail map[string]string
+}
+
+// Admin is the opt-in observability endpoint every daemon can serve
+// behind its -admin flag:
+//
+//	/metrics       Prometheus text exposition of Registry
+//	/healthz       200 "ok" / 503 "degraded" from Healthz, plus detail
+//	/debug/pprof/  the standard pprof handlers
+//	/debug/vars    expvar JSON
+//	/debug/trace   the Tracer's span tree, when a tracer is attached
+//
+// Configure the exported fields before Listen. The endpoint carries no
+// authentication — bind it to loopback (or a trusted management
+// network) only; see DESIGN.md "Observability".
+type Admin struct {
+	// Registry is the metrics source; nil means the Default registry.
+	Registry *Registry
+	// Healthz computes the health verdict; nil means always healthy.
+	Healthz func() Health
+	// Tracer, when non-nil, is rendered at /debug/trace.
+	Tracer *Tracer
+	// Logf, when set, receives operational events (serve errors).
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	closed bool
+}
+
+// registry resolves the effective metrics source.
+func (a *Admin) registry() *Registry {
+	if a.Registry != nil {
+		return a.Registry
+	}
+	return Default()
+}
+
+// Handler returns the admin mux, so tests (and embedders) can drive it
+// without a socket.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "manrsmeter admin endpoint\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n/debug/trace\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = a.registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := Health{OK: true}
+		if a.Healthz != nil {
+			h = a.Healthz()
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !h.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "degraded")
+		} else {
+			fmt.Fprintln(w, "ok")
+		}
+		keys := make([]string, 0, len(h.Detail))
+		for k := range h.Detail {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s=%s\n", k, h.Detail[k])
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.Tracer == nil {
+			fmt.Fprintln(w, "no tracer attached")
+			return
+		}
+		_ = a.Tracer.WriteTree(w)
+	})
+	return mux
+}
+
+// Listen binds addr (":0" for an ephemeral port), starts serving in
+// the background, and returns the bound address.
+func (a *Admin) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.Serve(ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln.Addr(), nil
+}
+
+// Serve starts answering admin requests from ln in the background.
+func (a *Admin) Serve(ln net.Listener) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fmt.Errorf("obsv: admin endpoint closed")
+	}
+	if a.srv != nil {
+		return fmt.Errorf("obsv: admin endpoint already serving")
+	}
+	a.ln = ln
+	a.srv = &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	srv := a.srv
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if a.Logf != nil {
+				a.Logf("obsv: admin serve: %v", err)
+			}
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (a *Admin) Addr() net.Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.ln == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Shutdown gracefully stops the endpoint: no new connections, in-
+// flight requests drain until ctx expires, then remaining connections
+// are force-closed. Safe to call without a prior Listen.
+func (a *Admin) Shutdown(ctx context.Context) error {
+	a.mu.Lock()
+	srv := a.srv
+	a.closed = true
+	a.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}
+
+// Serve is the one-call convenience the daemons use behind -admin: it
+// builds an Admin over the Default registry, binds addr, and returns
+// the endpoint and its bound address. Operational events (serve
+// errors) go to stderr as structured component=admin records.
+func Serve(addr string, healthz func() Health) (*Admin, net.Addr, error) {
+	adminLog := NewLogger(os.Stderr, LevelInfo).With("admin")
+	a := &Admin{
+		Healthz: healthz,
+		Logf: func(format string, args ...any) {
+			adminLog.Error(fmt.Sprintf(format, args...))
+		},
+	}
+	bound, err := a.Listen(addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a, bound, nil
+}

@@ -1,0 +1,456 @@
+// Package obsv is the repository's dependency-free observability core:
+// a concurrent metrics registry (counters, gauges, fixed-bucket
+// histograms) with Prometheus text exposition, hierarchical span
+// tracing for the analysis pipeline, a leveled key=value logger, and an
+// admin HTTP endpoint (metrics, health, pprof) every daemon can serve.
+//
+// Everything here is stdlib-only and safe for concurrent use. Metrics
+// are process-global by default (the Default registry), mirroring how
+// the daemons are deployed: one process, one scrape endpoint. Tests
+// that need isolation construct their own Registry.
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind discriminates the three metric families.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// Counter is a monotonically increasing count. All methods are safe for
+// concurrent use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n; negative deltas are ignored (counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use; a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the value by delta (negative allowed).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one; Dec subtracts one.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets (cumulative on
+// export, per Prometheus convention). All methods are safe for
+// concurrent use; a nil Histogram is a no-op.
+type Histogram struct {
+	uppers  []float64 // sorted upper bounds, exclusive of +Inf
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBuckets is the default latency bucket layout, in seconds.
+var DefBuckets = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+func newHistogram(uppers []float64) *Histogram {
+	if len(uppers) == 0 {
+		uppers = DefBuckets
+	}
+	sorted := append([]float64(nil), uppers...)
+	sort.Float64s(sorted)
+	return &Histogram{uppers: sorted, counts: make([]atomic.Int64, len(sorted))}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Lowest bucket whose upper bound admits v; beyond the last bound
+	// the sample lands only in the implicit +Inf bucket (count/sum).
+	i := sort.SearchFloat64s(h.uppers, v)
+	if i < len(h.counts) {
+		h.counts[i].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples were observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot returns cumulative bucket counts aligned with h.uppers.
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// metric is one registered series: a family name plus a fixed label
+// set, holding exactly one of the three instrument types.
+type metric struct {
+	name   string
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family carries the per-name metadata shared by every labeled child.
+type family struct {
+	name    string
+	help    string
+	kind    metricKind
+	buckets []float64
+}
+
+// Registry holds metrics and renders them. The zero value is not
+// usable; call NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+	metrics  map[string]*metric // key: name + rendered labels
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		families: make(map[string]*family),
+		metrics:  make(map[string]*metric),
+	}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the process-global registry the daemons expose via
+// the admin endpoint. Package-level helpers (obsv.NewCounter etc.)
+// register here.
+func Default() *Registry {
+	defaultOnce.Do(func() { defaultReg = NewRegistry() })
+	return defaultReg
+}
+
+// labelKey renders k/v pairs into the canonical sorted label string.
+// An odd trailing key is dropped.
+func labelKey(kv []string) string {
+	if len(kv) < 2 {
+		return ""
+	}
+	n := len(kv) / 2
+	pairs := make([][2]string, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, [2]string{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p[0], p[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register returns the metric for (name, labels), creating it on first
+// use. Conflicting re-registration of a name with a different kind is a
+// programming error and panics at init time, where it is deterministic.
+func (r *Registry) register(name, help string, kind metricKind, buckets []float64, kv []string) *metric {
+	labels := labelKey(kv)
+	key := name + labels
+	r.mu.RLock()
+	m, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[key]; ok {
+		return m
+	}
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, kind: kind, buckets: buckets}
+		r.families[name] = fam
+	} else if fam.kind != kind {
+		panic(fmt.Sprintf("obsv: metric %q re-registered as %s (was %s)", name, kind, fam.kind))
+	}
+	m = &metric{name: name, labels: labels}
+	switch kind {
+	case kindCounter:
+		m.c = new(Counter)
+	case kindGauge:
+		m.g = new(Gauge)
+	case kindHistogram:
+		m.h = newHistogram(fam.buckets)
+	}
+	r.metrics[key] = m
+	return m
+}
+
+// Counter returns the counter named name with the given optional
+// "key", "value" label pairs, registering it on first use. Subsequent
+// calls with the same identity return the same instance.
+func (r *Registry) Counter(name, help string, kv ...string) *Counter {
+	return r.register(name, help, kindCounter, nil, kv).c
+}
+
+// Gauge is Counter for gauges.
+func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
+	return r.register(name, help, kindGauge, nil, kv).g
+}
+
+// Histogram is Counter for histograms; buckets are upper bounds (nil
+// means DefBuckets). The bucket layout is fixed by the first
+// registration of the name.
+func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	return r.register(name, help, kindHistogram, buckets, kv).h
+}
+
+// NewCounter registers a counter on the Default registry.
+func NewCounter(name, help string, kv ...string) *Counter {
+	return Default().Counter(name, help, kv...)
+}
+
+// NewGauge registers a gauge on the Default registry.
+func NewGauge(name, help string, kv ...string) *Gauge {
+	return Default().Gauge(name, help, kv...)
+}
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, buckets []float64, kv ...string) *Histogram {
+	return Default().Histogram(name, help, buckets, kv...)
+}
+
+// sortedMetrics returns every registered series sorted by family name
+// then label string, the stable order both renderers use.
+func (r *Registry) sortedMetrics() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		out = append(out, m)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].labels < out[j].labels
+	})
+	return out
+}
+
+// formatValue renders floats the way Prometheus does: integers without
+// a decimal point, +Inf as "+Inf".
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// injectLabel merges an extra k="v" pair into an already-rendered label
+// string (used for histogram le labels).
+func injectLabel(labels, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if labels == "" {
+		return "{" + pair + "}"
+	}
+	return labels[:len(labels)-1] + "," + pair + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4), families sorted by name and
+// series sorted by label string, so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.sortedMetrics()
+	lastFamily := ""
+	for _, m := range metrics {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			r.mu.RLock()
+			fam := r.families[m.name]
+			r.mu.RUnlock()
+			if fam.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", fam.name, fam.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, fam.kind); err != nil {
+				return err
+			}
+		}
+		if err := writeSeries(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, m *metric) error {
+	switch {
+	case m.c != nil:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		return err
+	case m.g != nil:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.g.Value()))
+		return err
+	default:
+		h := m.h
+		cum := h.snapshot()
+		for i, upper := range h.uppers {
+			le := injectLabel(m.labels, "le", formatValue(upper))
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, cum[i]); err != nil {
+				return err
+			}
+		}
+		le := injectLabel(m.labels, "le", "+Inf")
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, h.Count()); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatValue(h.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, h.Count())
+		return err
+	}
+}
+
+// Dump renders every series as sorted "name{labels} value" lines with
+// no comment lines — the deterministic form tests assert against.
+// Histograms dump their count and sum series only.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	for _, m := range r.sortedMetrics() {
+		switch {
+		case m.c != nil:
+			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
+		case m.g != nil:
+			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels, formatValue(m.g.Value()))
+		default:
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, m.h.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, formatValue(m.h.Sum()))
+		}
+	}
+	return b.String()
+}
+
+// Value returns the current value of the series with the given name
+// and labels: counter values and histogram counts as their integer
+// value, gauges rounded toward zero. Unregistered series read 0 —
+// convenient for "did this counter move" assertions in tests.
+func (r *Registry) Value(name string, kv ...string) int64 {
+	key := name + labelKey(kv)
+	r.mu.RLock()
+	m, ok := r.metrics[key]
+	r.mu.RUnlock()
+	if !ok {
+		return 0
+	}
+	switch {
+	case m.c != nil:
+		return m.c.Value()
+	case m.g != nil:
+		return int64(m.g.Value())
+	default:
+		return m.h.Count()
+	}
+}

@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMetricsConcurrentExactTotals hammers one counter, gauge, and
+// histogram from N goroutines and asserts the exact totals — the -race
+// gate for the registry's hot paths.
+func TestMetricsConcurrentExactTotals(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 2000
+
+	c := reg.Counter("hammer_total", "test counter")
+	g := reg.Gauge("hammer_gauge", "test gauge")
+	h := reg.Histogram("hammer_seconds", "test histogram", []float64{0.5, 1, 2})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				// Re-fetch through the registry on some iterations so the
+				// lookup path races with other registrations too.
+				cc := c
+				if j%8 == 0 {
+					cc = reg.Counter("hammer_total", "test counter")
+				}
+				cc.Inc()
+				g.Add(1)
+				g.Add(-1)
+				g.Inc()
+				h.Observe(float64(j%4) / 2) // 0, 0.5, 1, 1.5
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got, want := c.Value(), int64(goroutines*perG); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(goroutines*perG); got != want {
+		t.Errorf("gauge = %g, want %g", got, want)
+	}
+	if got, want := h.Count(), int64(goroutines*perG); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	// Each goroutine observes perG/4 each of 0, 0.5, 1, 1.5 → sum 3 per 4.
+	if got, want := h.Sum(), float64(goroutines*perG)/4*3; got != want {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+	// Bucket 0.5 is cumulative over observations ≤ 0.5: the 0 and 0.5 samples.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `hammer_seconds_bucket{le="0.5"} 16000`) {
+		t.Errorf("exposition missing cumulative 0.5 bucket:\n%s", buf.String())
+	}
+}
+
+// TestConcurrentLabeledRegistration races first-use registration of
+// many labeled children of one family.
+func TestConcurrentLabeledRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				class := string(rune('a' + j%5))
+				reg.Counter("faults_total", "faults by class", "class", class).Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, class := range []string{"a", "b", "c", "d", "e"} {
+		total += reg.Value("faults_total", "class", class)
+	}
+	if total != 8*500 {
+		t.Errorf("labeled counters sum = %d, want %d", total, 8*500)
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition format: HELP/TYPE
+// comments, sorted families, sorted label sets, cumulative histogram
+// buckets with le labels, _sum and _count series.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("zz_last_total", "sorts last").Add(7)
+	reg.Counter("aa_requests_total", "requests by verb", "verb", "get").Add(3)
+	reg.Counter("aa_requests_total", "requests by verb", "verb", "put").Add(1)
+	reg.Gauge("mm_temperature", "a gauge").Set(2.5)
+	h := reg.Histogram("mm_latency_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP aa_requests_total requests by verb
+# TYPE aa_requests_total counter
+aa_requests_total{verb="get"} 3
+aa_requests_total{verb="put"} 1
+# HELP mm_latency_seconds a histogram
+# TYPE mm_latency_seconds histogram
+mm_latency_seconds_bucket{le="0.1"} 1
+mm_latency_seconds_bucket{le="1"} 2
+mm_latency_seconds_bucket{le="+Inf"} 3
+mm_latency_seconds_sum 5.55
+mm_latency_seconds_count 3
+# HELP mm_temperature a gauge
+# TYPE mm_temperature gauge
+mm_temperature 2.5
+# HELP zz_last_total sorts last
+# TYPE zz_last_total counter
+zz_last_total 7
+`
+	if buf.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestDumpDeterministic checks the sorted test-dump form.
+func TestDumpDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("b_total", "").Add(2)
+	reg.Counter("a_total", "").Add(1)
+	reg.Histogram("c_seconds", "", []float64{1}).Observe(0.5)
+	want := "a_total 1\nb_total 2\nc_seconds_count 1\nc_seconds_sum 0.5\n"
+	if got := reg.Dump(); got != want {
+		t.Errorf("Dump = %q, want %q", got, want)
+	}
+}
+
+// TestRegistryIdentity checks same-identity calls share one series and
+// label order does not matter.
+func TestRegistryIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("x_total", "", "p", "1", "q", "2")
+	b := reg.Counter("x_total", "", "q", "2", "p", "1")
+	if a != b {
+		t.Error("label order changed metric identity")
+	}
+	a.Add(5)
+	if got := reg.Value("x_total", "q", "2", "p", "1"); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+	if got := reg.Value("x_total"); got != 0 {
+		t.Errorf("unlabeled sibling = %d, want 0", got)
+	}
+}
+
+// TestNilMetricsAreNoOps ensures instrumented code can run with nil
+// instruments.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics leaked values")
+	}
+}

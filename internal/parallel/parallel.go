@@ -19,6 +19,24 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+// Pool metrics, exported on the Default registry so the daemons' admin
+// endpoints surface fan-out behavior (dispatch volume, panic isolation
+// hits, cancellation truncation, and how long items queue before a
+// worker picks them up).
+var (
+	mTasksDispatched = obsv.NewCounter("parallel_tasks_dispatched_total",
+		"work items handed to a pool worker")
+	mTasksPanicked = obsv.NewCounter("parallel_tasks_panicked_total",
+		"work items whose function panicked (recovered into PanicError)")
+	mTasksCanceled = obsv.NewCounter("parallel_tasks_canceled_total",
+		"work items never dispatched because the context was done")
+	mQueueWait = obsv.NewHistogram("parallel_queue_wait_seconds",
+		"delay between fan-out start and item dispatch", nil)
 )
 
 // PanicError is a panic recovered from a worker item, converted into an
@@ -64,6 +82,8 @@ func ForEach(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	// One batched add keeps the hot loop free of per-item accounting.
+	mTasksDispatched.Add(int64(n))
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
@@ -136,11 +156,15 @@ func ForEachErrCtx(ctx context.Context, n, workers int, fn func(i int) error) er
 	if n <= 0 {
 		return nil
 	}
+	start := time.Now()
 	errs := make([]error, n)
 	var dispatched atomic.Int64
 	run := func(i int) {
+		mTasksDispatched.Inc()
+		mQueueWait.Observe(time.Since(start).Seconds())
 		defer func() {
 			if r := recover(); r != nil {
+				mTasksPanicked.Inc()
 				errs[i] = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
 			}
 		}()
@@ -181,7 +205,8 @@ func ForEachErrCtx(ctx context.Context, n, workers int, fn func(i int) error) er
 			return err
 		}
 	}
-	if int(dispatched.Load()) < n {
+	if d := int(dispatched.Load()); d < n {
+		mTasksCanceled.Add(int64(n - d))
 		return context.Cause(ctx)
 	}
 	return nil

@@ -12,9 +12,22 @@ import (
 	"manrsmeter/internal/irr"
 	"manrsmeter/internal/manrs"
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/peeringdb"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/rpki"
+)
+
+// Dataset-engine metrics: the DatasetAt memoization cache (a stability
+// loop re-requesting a snapshot should hit, a fresh date misses and
+// pays a build) and how long builds take.
+var (
+	mDatasetCacheHits = obsv.NewCounter("synth_dataset_cache_hits_total",
+		"DatasetAt calls answered from the memoization cache")
+	mDatasetCacheMisses = obsv.NewCounter("synth_dataset_cache_misses_total",
+		"DatasetAt calls that built (or raced to build) a snapshot")
+	mDatasetBuild = obsv.NewHistogram("synth_dataset_build_seconds",
+		"wall time of one dataset build", []float64{.05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60})
 )
 
 // allocator carves per-RIR address space: /13 blocks for large networks
@@ -706,6 +719,10 @@ func (w *World) BuildDatasetAt(t time.Time, workers int) (*ihr.Dataset, error) {
 // fan-out stages stop dispatching once ctx is done and the cancellation
 // cause is returned instead of a partial dataset.
 func (w *World) BuildDatasetAtCtx(ctx context.Context, t time.Time, workers int) (*ihr.Dataset, error) {
+	ctx, span := obsv.StartSpan(ctx, "dataset.build", obsv.KV("date", t.Format("2006-01-02")))
+	defer span.End()
+	start := time.Now()
+	defer func() { mDatasetBuild.Observe(time.Since(start).Seconds()) }()
 	rpkiIx, irrIx, err := w.IndexesAt(t)
 	if err != nil {
 		return nil, err
@@ -744,9 +761,11 @@ func (w *World) DatasetAtCtx(ctx context.Context, t time.Time, workers int) (*ih
 	w.dsMu.Lock()
 	if ds, ok := w.dsCache[key]; ok {
 		w.dsMu.Unlock()
+		mDatasetCacheHits.Inc()
 		return ds, nil
 	}
 	w.dsMu.Unlock()
+	mDatasetCacheMisses.Inc()
 
 	ds, err := w.BuildDatasetAtCtx(ctx, t, workers)
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"manrsmeter/internal/core"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/parallel"
 )
 
@@ -29,10 +30,27 @@ type ReportOptions struct {
 	// sections (and their dataset builds) across; ≤ 0 means one per CPU.
 	// The report bytes are identical for every worker count.
 	Workers int
+	// Tracer, when non-nil, records the run as hierarchical spans: a
+	// "report" root, one "section" span per section (with its terminal
+	// status), and whatever the sections start beneath them (pipeline
+	// and dataset builds). Render with Tracer.WriteTree or export
+	// Tracer.Events. Tracing never touches w, so report bytes stay
+	// identical across worker counts with tracing enabled.
+	Tracer *obsv.Tracer
 	// Trace, when non-nil, receives one per-section wall-time line after
 	// the report is written, in section order, followed by the goroutine
 	// stacks of any panicked sections.
+	//
+	// Deprecated: Trace is a shim over Tracer kept for one release of
+	// backward compatibility; new callers should set Tracer and render
+	// its span tree instead.
 	Trace io.Writer
+	// SectionObserver, when non-nil, is called as each section reaches a
+	// terminal status — the live feed an admin /healthz endpoint watches
+	// while the run is in flight (the ContinueOnError health trailer is
+	// the end-of-run rendering of the same states). Sections finish
+	// concurrently; the observer must be safe for concurrent use.
+	SectionObserver func(name, status string, wall time.Duration)
 	// SectionTimeout is the per-section watchdog: a section still running
 	// after this long is recorded as timed-out and its slot is abandoned
 	// (its context is canceled so cooperative work stops). Zero disables
@@ -221,6 +239,13 @@ func RunReportWithPipelineCtx(ctx context.Context, w io.Writer, pipe *Pipeline, 
 		}},
 	}
 
+	if opts.Tracer != nil {
+		var root *obsv.Span
+		ctx = obsv.ContextWithTracer(ctx, opts.Tracer)
+		ctx, root = obsv.StartSpan(ctx, "report", obsv.KV("sections", len(sections)))
+		defer root.End()
+	}
+
 	runStart := time.Now()
 	outcomes := make([]sectionOutcome, len(sections))
 	// The fan-out itself cannot fail the report: panics are recovered
@@ -231,7 +256,13 @@ func RunReportWithPipelineCtx(ctx context.Context, w io.Writer, pipe *Pipeline, 
 		if opts.sectionHook != nil {
 			run = opts.sectionHook(sections[i].name, run)
 		}
-		outcomes[i] = runSection(ctx, run, opts.SectionTimeout)
+		sctx, span := obsv.StartSpan(ctx, "section", obsv.KV("name", sections[i].name))
+		outcomes[i] = runSection(sctx, run, opts.SectionTimeout)
+		span.SetAttr("status", outcomes[i].status.String())
+		span.End()
+		if opts.SectionObserver != nil {
+			opts.SectionObserver(sections[i].name, outcomes[i].status.String(), outcomes[i].wall)
+		}
 	})
 	runWall := time.Since(runStart)
 

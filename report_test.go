@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"manrsmeter/internal/obsv"
 )
 
 // TestRunReportByteIdentical is the determinism golden test: the full
@@ -71,6 +73,61 @@ func TestConcurrentPipelinesSharedWorld(t *testing.T) {
 	}
 	if !strings.Contains(outs[0].String(), "Finding 8.7") {
 		t.Error("stability section missing from concurrent report")
+	}
+}
+
+// TestRunReportTracerDeterministic is the observability acceptance
+// test: attaching a span tracer must not perturb the report — bytes
+// stay identical across worker counts — while the tracer itself
+// records the run hierarchy (a report root with one span per section).
+func TestRunReportTracerDeterministic(t *testing.T) {
+	world, err := GenerateWorld(smallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) (string, *obsv.Tracer) {
+		tracer := obsv.NewTracer()
+		var buf bytes.Buffer
+		opts := ReportOptions{StabilityWeeks: 3, Workers: workers, Tracer: tracer}
+		if err := RunReport(&buf, world, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String(), tracer
+	}
+	narrow, _ := render(1)
+	wide, tracer := render(8)
+	if narrow != wide {
+		t.Error("report with Tracer differs between Workers=1 and Workers=8")
+	}
+	var plain bytes.Buffer
+	if err := RunReport(&plain, world, ReportOptions{StabilityWeeks: 3, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != narrow {
+		t.Error("attaching a Tracer changed the report bytes")
+	}
+
+	events := tracer.Events()
+	var roots, sections int
+	for _, ev := range events {
+		switch ev.Name {
+		case "report":
+			roots++
+		case "section":
+			sections++
+			if ev.Parent == 0 {
+				t.Errorf("section span %q has no parent", ev.Attr("name"))
+			}
+			if s := ev.Attr("status"); s != "ok" {
+				t.Errorf("section %q status = %q, want ok", ev.Attr("name"), s)
+			}
+		}
+	}
+	if roots != 1 {
+		t.Errorf("report root spans = %d, want 1", roots)
+	}
+	if sections == 0 {
+		t.Error("no section spans recorded")
 	}
 }
 

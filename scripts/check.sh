@@ -16,6 +16,9 @@
 #   fuzz   — short smoke of the BGP wire-format and MRT-reader fuzzers,
 #            so decoder regressions on malformed input surface before
 #            merge
+#   admin  — end-to-end smoke of the observability endpoint: start a
+#            collector with -admin, curl /healthz and /metrics, and
+#            assert the expected metric families are exposed
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -30,6 +33,9 @@ fi
 
 echo "==> go vet ./..."
 go vet ./...
+# The observability layer is new and stdlib-only; vet it explicitly so
+# a failure names the package even if the ./... pass is ever narrowed.
+go vet ./internal/obsv
 
 echo "==> go build ./..."
 go build ./...
@@ -48,5 +54,60 @@ echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzDecodeAttributes$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzReadAll$' -fuzztime "$FUZZTIME" ./internal/bgp/mrt
+
+echo "==> admin endpoint smoke (collector -admin)"
+TMPDIR_SMOKE="$(mktemp -d)"
+cleanup() {
+    [ -n "${COLLECTOR_PID:-}" ] && kill "$COLLECTOR_PID" 2>/dev/null || true
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT INT TERM
+go build -o "$TMPDIR_SMOKE/collector" ./cmd/collector
+"$TMPDIR_SMOKE/collector" -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -out "$TMPDIR_SMOKE/rib.mrt" >"$TMPDIR_SMOKE/collector.log" 2>&1 &
+COLLECTOR_PID=$!
+ADMIN_ADDR=""
+for _ in $(seq 1 50); do
+    ADMIN_ADDR="$(sed -n 's|.*admin endpoint on http://||p' "$TMPDIR_SMOKE/collector.log")"
+    [ -n "$ADMIN_ADDR" ] && break
+    kill -0 "$COLLECTOR_PID" 2>/dev/null || {
+        echo "admin smoke: collector exited early:" >&2
+        cat "$TMPDIR_SMOKE/collector.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$ADMIN_ADDR" ]; then
+    echo "admin smoke: collector never logged its admin address" >&2
+    cat "$TMPDIR_SMOKE/collector.log" >&2
+    exit 1
+fi
+HEALTH_CODE="$(curl -s -o "$TMPDIR_SMOKE/healthz" -w '%{http_code}' "http://$ADMIN_ADDR/healthz")"
+if [ "$HEALTH_CODE" != 200 ]; then
+    echo "admin smoke: GET /healthz returned $HEALTH_CODE, want 200" >&2
+    cat "$TMPDIR_SMOKE/healthz" >&2
+    exit 1
+fi
+grep -q '^ok$' "$TMPDIR_SMOKE/healthz" || {
+    echo "admin smoke: /healthz body missing ok verdict:" >&2
+    cat "$TMPDIR_SMOKE/healthz" >&2
+    exit 1
+}
+METRICS_CODE="$(curl -s -o "$TMPDIR_SMOKE/metrics" -w '%{http_code}' "http://$ADMIN_ADDR/metrics")"
+if [ "$METRICS_CODE" != 200 ]; then
+    echo "admin smoke: GET /metrics returned $METRICS_CODE, want 200" >&2
+    exit 1
+fi
+for metric in collector_peers_active collector_routes_received_total \
+    collector_mrt_bytes_written_total netx_server_conns_total; do
+    grep -q "^$metric" "$TMPDIR_SMOKE/metrics" || {
+        echo "admin smoke: /metrics missing $metric" >&2
+        grep '^# TYPE' "$TMPDIR_SMOKE/metrics" >&2 || true
+        exit 1
+    }
+done
+kill "$COLLECTOR_PID" 2>/dev/null || true
+wait "$COLLECTOR_PID" 2>/dev/null || true
+COLLECTOR_PID=""
 
 echo "==> all checks passed"
