@@ -32,6 +32,7 @@ import (
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/serve"
 	"manrsmeter/internal/synth"
 )
 
@@ -161,3 +162,34 @@ func NewPipelineCtx(ctx context.Context, w *World, opts PipelineOptions) (*Pipel
 
 // ComputeMetrics aggregates a dataset into per-AS metrics (Formulas 1–6).
 func ComputeMetrics(ds *Dataset) map[uint32]*ASMetrics { return manrs.ComputeMetrics(ds) }
+
+// Serving layer: the versioned snapshot store and HTTP/JSON query
+// server behind cmd/manrsd — see DESIGN.md, "Serving layer".
+type (
+	// SnapshotStore builds, versions, and publishes date-keyed dataset
+	// snapshots with singleflight-coalesced builds and atomic swaps.
+	SnapshotStore = serve.Store
+	// SnapshotStoreOptions tunes a SnapshotStore.
+	SnapshotStoreOptions = serve.StoreOptions
+	// QueryServer answers MANRS conformance queries over HTTP/JSON with
+	// admission control, a version-keyed response cache, and ETags.
+	QueryServer = serve.Server
+	// QueryServerOptions tunes a QueryServer.
+	QueryServerOptions = serve.Options
+)
+
+// NewSnapshotStore returns a snapshot store over w. The world is
+// shared and read-only; any number of stores and pipelines may run
+// over one world.
+func NewSnapshotStore(w *World, opts SnapshotStoreOptions) *SnapshotStore {
+	return serve.NewStore(w, opts)
+}
+
+// NewQueryServer returns the HTTP query server over store:
+//
+//	store := manrsmeter.NewSnapshotStore(world, manrsmeter.SnapshotStoreOptions{})
+//	srv := manrsmeter.NewQueryServer(store, manrsmeter.QueryServerOptions{})
+//	addr, err := srv.Listen("127.0.0.1:0")
+func NewQueryServer(store *SnapshotStore, opts QueryServerOptions) *QueryServer {
+	return serve.NewServer(store, opts)
+}

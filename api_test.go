@@ -37,6 +37,73 @@ func TestPublicAPIQuickstartFlow(t *testing.T) {
 	}
 }
 
+func TestConformanceClassification(t *testing.T) {
+	// The full §6.4 truth table over the four defined statuses: a pair
+	// is conformant on RPKI Valid, IRR Valid, or IRR Invalid-length
+	// (IRR has no max-length attribute); unconformant on RPKI Invalid
+	// or RPKI-unregistered with a wrong-origin IRR object; pairs
+	// registered nowhere are neither.
+	cases := []struct {
+		rpki, irr          Status
+		conform, unconform bool
+	}{
+		{StatusNotFound, StatusNotFound, false, false},
+		{StatusNotFound, StatusValid, true, false},
+		{StatusNotFound, StatusInvalidASN, false, true},
+		{StatusNotFound, StatusInvalidLength, true, false},
+		{StatusValid, StatusNotFound, true, false},
+		{StatusValid, StatusValid, true, false},
+		{StatusValid, StatusInvalidASN, true, false},
+		{StatusValid, StatusInvalidLength, true, false},
+		{StatusInvalidASN, StatusNotFound, false, true},
+		{StatusInvalidASN, StatusValid, true, false},
+		{StatusInvalidASN, StatusInvalidASN, false, true},
+		{StatusInvalidASN, StatusInvalidLength, true, false},
+		{StatusInvalidLength, StatusNotFound, false, true},
+		{StatusInvalidLength, StatusValid, true, false},
+		{StatusInvalidLength, StatusInvalidASN, false, true},
+		{StatusInvalidLength, StatusInvalidLength, true, false},
+	}
+	for _, tc := range cases {
+		if got := Conformant(tc.rpki, tc.irr); got != tc.conform {
+			t.Errorf("Conformant(%v, %v) = %v, want %v", tc.rpki, tc.irr, got, tc.conform)
+		}
+		if got := Unconformant(tc.rpki, tc.irr); got != tc.unconform {
+			t.Errorf("Unconformant(%v, %v) = %v, want %v", tc.rpki, tc.irr, got, tc.unconform)
+		}
+		if Conformant(tc.rpki, tc.irr) && Unconformant(tc.rpki, tc.irr) {
+			t.Errorf("(%v, %v) both conformant and unconformant", tc.rpki, tc.irr)
+		}
+	}
+	// Statuses outside the defined enum must classify as neither, not
+	// panic or default to a verdict.
+	if Conformant(Status(7), Status(9)) {
+		t.Error("unknown statuses classified conformant")
+	}
+	if Unconformant(Status(7), Status(9)) {
+		t.Error("unknown statuses classified unconformant")
+	}
+}
+
+func TestClassifySizeBoundaries(t *testing.T) {
+	// Class edges from the paper: small ≤ 2 < medium ≤ 180 < large.
+	// Zero customer degree (a stub AS) is small, as is a negative
+	// degree from a defensive caller.
+	cases := []struct {
+		degree int
+		want   SizeClass
+	}{
+		{-1, Small}, {0, Small}, {1, Small}, {2, Small},
+		{3, Medium}, {100, Medium}, {180, Medium},
+		{181, Large}, {10000, Large},
+	}
+	for _, tc := range cases {
+		if got := ClassifySize(tc.degree); got != tc.want {
+			t.Errorf("ClassifySize(%d) = %v, want %v", tc.degree, got, tc.want)
+		}
+	}
+}
+
 func TestRunReportEndToEnd(t *testing.T) {
 	world, err := GenerateWorld(smallConfig(5))
 	if err != nil {

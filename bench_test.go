@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"net/netip"
 	"runtime"
 	"strings"
@@ -618,6 +620,33 @@ func BenchmarkRTRFetch(b *testing.B) {
 		res, err := rtr.Fetch(addr.String())
 		if err != nil || len(res.VRPs) != len(vrps) {
 			b.Fatalf("fetch: %v", err)
+		}
+	}
+}
+
+// BenchmarkServeConformance measures the serving hot path: a per-AS
+// conformance query answered from the version-keyed response cache of a
+// pre-warmed query server (no snapshot build, no pipeline work — the
+// admission, cache lookup, ETag, and write path).
+func BenchmarkServeConformance(b *testing.B) {
+	p := pipeline(b)
+	store := NewSnapshotStore(p.World, SnapshotStoreOptions{})
+	srv := NewQueryServer(store, QueryServerOptions{})
+	h := srv.Handler()
+	path := fmt.Sprintf("/v1/as/%d/conformance", p.World.Graph.ASNs()[0])
+
+	// Warm the snapshot and the response cache.
+	warm := httptest.NewRecorder()
+	h.ServeHTTP(warm, httptest.NewRequest(http.MethodGet, path, nil))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("warm request: %d %s", warm.Code, warm.Body.String())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
 		}
 	}
 }

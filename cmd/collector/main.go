@@ -41,7 +41,7 @@ func main() {
 	holdTime := flag.Duration("hold-time", 90*time.Second, "advertised BGP hold time; silent peers are torn down and their routes withdrawn")
 	maxPeers := flag.Int("max-peers", 0, "cap on concurrent peer connections (0 = unlimited)")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for peer sessions to wind down at shutdown; whatever remains is force-closed")
-	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
+	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 
 	c := collector.New(uint32(*asn), [4]byte{192, 0, 2, 255},
@@ -63,23 +63,20 @@ func main() {
 		log.Printf("accepting BMP feeds on %s", bmpAddr)
 	}
 
-	var adm *obsv.Admin
-	if *admin != "" {
-		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
-			h := obsv.Health{OK: true, Detail: map[string]string{
-				"peers":  fmt.Sprint(c.NumPeers()),
-				"routes": fmt.Sprint(c.RIB().Len()),
-			}}
-			if station != nil {
-				h.Detail["bmp_routers"] = fmt.Sprint(len(station.Routers()))
-				h.Detail["bmp_peers_up"] = fmt.Sprint(station.PeersUp())
-			}
-			return h
-		})
-		if err != nil {
-			log.Fatalf("admin endpoint: %v", err)
+	if adminAddr, err := adminEP.Start(func() obsv.Health {
+		h := obsv.Health{OK: true, Detail: map[string]string{
+			"peers":  fmt.Sprint(c.NumPeers()),
+			"routes": fmt.Sprint(c.RIB().Len()),
+		}}
+		if station != nil {
+			h.Detail["bmp_routers"] = fmt.Sprint(len(station.Routers()))
+			h.Detail["bmp_peers_up"] = fmt.Sprint(station.PeersUp())
 		}
-		log.Printf("admin endpoint on http://%s", adm.Addr())
+		return h
+	}); err != nil {
+		log.Fatalf("admin endpoint: %v", err)
+	} else if adminAddr != nil {
+		log.Printf("admin endpoint on http://%s", adminAddr)
 	}
 
 	dump := func() {
@@ -121,10 +118,8 @@ func main() {
 				log.Printf("shutdown BMP: %v", err)
 			}
 		}
-		if adm != nil {
-			if err := adm.Shutdown(drainCtx); err != nil {
-				log.Printf("shutdown admin: %v", err)
-			}
+		if err := adminEP.Shutdown(drainCtx); err != nil {
+			log.Printf("shutdown admin: %v", err)
 		}
 	}
 

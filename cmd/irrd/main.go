@@ -35,7 +35,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:4343", "listen address")
 	query := flag.String("query", "", "answer one query against the loaded databases and exit")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for in-flight queries at shutdown; whatever remains is force-closed")
-	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
+	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("no database dumps given")
@@ -78,18 +78,15 @@ func main() {
 	}
 	log.Printf("serving %d route objects on %s", registry.NumRoutes(), addr)
 
-	var adm *obsv.Admin
-	if *admin != "" {
-		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
-			return obsv.Health{OK: true, Detail: map[string]string{
-				"databases": fmt.Sprint(flag.NArg()),
-				"routes":    fmt.Sprint(registry.NumRoutes()),
-			}}
-		})
-		if err != nil {
-			log.Fatalf("admin endpoint: %v", err)
-		}
-		log.Printf("admin endpoint on http://%s", adm.Addr())
+	if adminAddr, err := adminEP.Start(func() obsv.Health {
+		return obsv.Health{OK: true, Detail: map[string]string{
+			"databases": fmt.Sprint(flag.NArg()),
+			"routes":    fmt.Sprint(registry.NumRoutes()),
+		}}
+	}); err != nil {
+		log.Fatalf("admin endpoint: %v", err)
+	} else if adminAddr != nil {
+		log.Printf("admin endpoint on http://%s", adminAddr)
 	}
 
 	// SIGINT/SIGTERM drain in-flight queries for up to -drain before
@@ -102,10 +99,8 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = srv.Shutdown(drainCtx)
-	if adm != nil {
-		if aerr := adm.Shutdown(drainCtx); aerr != nil {
-			log.Printf("shutdown admin: %v", aerr)
-		}
+	if aerr := adminEP.Shutdown(drainCtx); aerr != nil {
+		log.Printf("shutdown admin: %v", aerr)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -9,10 +9,15 @@
 //
 //	synthgen -out data/
 //	manrs-audit -data data/ [-asn 64500] [-unconformant-only]
+//
+// With -admin ADDR an observability endpoint serves /metrics, /healthz
+// and /debug/pprof/ for the duration of the audit. Bind it to
+// loopback: it carries no authentication.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +34,7 @@ import (
 	"manrsmeter/internal/ihr"
 	"manrsmeter/internal/irr"
 	"manrsmeter/internal/manrs"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/peeringdb"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/rpki"
@@ -41,6 +47,7 @@ func main() {
 	asnFlag := flag.Uint("asn", 0, "audit only this AS")
 	unconfOnly := flag.Bool("unconformant-only", false, "print only unconformant participants")
 	asOfFlag := flag.String("asof", "2022-05-01", "evaluation date for freshness checks (YYYY-MM-DD)")
+	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
@@ -49,6 +56,17 @@ func main() {
 	asOf, err := time.Parse("2006-01-02", *asOfFlag)
 	if err != nil {
 		log.Fatalf("bad -asof: %v", err)
+	}
+
+	if adminAddr, err := adminEP.Start(nil); err != nil {
+		log.Fatalf("admin endpoint: %v", err)
+	} else if adminAddr != nil {
+		log.Printf("admin endpoint on http://%s", adminAddr)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = adminEP.Shutdown(sctx)
+		}()
 	}
 
 	// 1. Topology (CAIDA as-rel).

@@ -46,7 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for the analysis (0 = one per CPU)")
 	trace := flag.Bool("trace", false, "print the span tree of the run (sections, pipeline, dataset builds) to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address for the duration of the run")
+	adminEP := obsv.AdminFlag(nil)
 	timeout := flag.Duration("timeout", 0, "overall deadline for the whole run (0 = none)")
 	sectionTimeout := flag.Duration("section-timeout", 0, "watchdog deadline per report section (0 = none)")
 	continueOnError := flag.Bool("continue-on-error", false, "render diagnostic stanzas for failed sections instead of aborting; ends the report with a health trailer")
@@ -95,7 +95,7 @@ func main() {
 		SectionTimeout:  *sectionTimeout,
 		ContinueOnError: *continueOnError,
 	}
-	err := run(ctx, *seed, *scale, opts, *trace, *admin)
+	err := run(ctx, *seed, *scale, opts, *trace, adminEP)
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		stopProfile()
 		log.Fatalf("canceled: %v", err)
@@ -139,7 +139,7 @@ func (h *sectionHealth) health() obsv.Health {
 	return out
 }
 
-func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOptions, trace bool, admin string) error {
+func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOptions, trace bool, adminEP *obsv.AdminEndpoint) error {
 	cfg := manrsmeter.DefaultConfig(seed)
 	if scale == "small" {
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
@@ -153,17 +153,14 @@ func run(ctx context.Context, seed int64, scale string, opts manrsmeter.ReportOp
 	opts.Tracer = tracer
 	opts.SectionObserver = health.observe
 
-	if admin != "" {
-		adm := &obsv.Admin{Tracer: tracer, Healthz: health.health}
-		addr, err := adm.Listen(admin)
-		if err != nil {
-			return fmt.Errorf("admin endpoint: %w", err)
-		}
+	if addr, err := adminEP.StartAdmin(&obsv.Admin{Tracer: tracer, Healthz: health.health}); err != nil {
+		return fmt.Errorf("admin endpoint: %w", err)
+	} else if addr != nil {
 		log.Printf("admin endpoint on http://%s", addr)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()
-			_ = adm.Shutdown(sctx)
+			_ = adminEP.Shutdown(sctx)
 		}()
 	}
 

@@ -1,0 +1,139 @@
+// Command manrsd serves MANRS conformance answers over HTTP/JSON: per-AS
+// Action 1 / Action 4 conformance, per-prefix origination and ROA/IRR
+// state, ecosystem aggregates, and rendered report sections, computed
+// from versioned snapshots of a synthetic Internet and published with
+// atomic swaps.
+//
+// Usage:
+//
+//	manrsd [-seed N] [-scale small|full] [-listen 127.0.0.1:8180]
+//	       [-workers N] [-max-inflight N] [-request-timeout D]
+//	       [-build-timeout D] [-refresh D] [-no-warm] [-drain D]
+//	       [-admin 127.0.0.1:9180]
+//
+// Endpoints (all /v1 routes accept ?date=YYYY-MM-DD and return strong
+// ETags; requests beyond -max-inflight are shed with 503 + Retry-After):
+//
+//	GET /v1/as/{asn}/conformance   per-AS MANRS conformance detail
+//	GET /v1/prefix/{prefix}        originations + covering ROAs/IRR routes
+//	GET /v1/stats                  ecosystem aggregates, RPKI saturation
+//	GET /v1/report                 the renderable report sections
+//	GET /v1/report/{section}       one rendered section
+//	GET /healthz                   liveness (200 even while warming)
+//
+// SIGINT/SIGTERM drain in-flight requests for up to -drain before
+// force-closing; a second signal kills the process via the restored
+// default handler. With -admin ADDR the observability endpoint serves
+// /metrics (request latency per route, in-flight, shed/coalesce/cache
+// counters), /healthz (snapshot publication state) and /debug/pprof/.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"manrsmeter"
+	"manrsmeter/internal/obsv"
+	"manrsmeter/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("manrsd: ")
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.String("scale", "full", "world scale: small | full")
+	listen := flag.String("listen", "127.0.0.1:8180", "listen address for the query API")
+	workers := flag.Int("workers", 0, "worker goroutines per snapshot build (0 = one per CPU)")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission limit on concurrently served requests; arrivals beyond it are shed with 503")
+	requestTimeout := flag.Duration("request-timeout", serve.DefaultRequestTimeout, "end-to-end deadline per request, including any snapshot build it waits on")
+	buildTimeout := flag.Duration("build-timeout", 0, "deadline per background snapshot build (0 = none)")
+	refresh := flag.Duration("refresh", 0, "background refresh interval for published snapshots (0 = no refresh)")
+	noWarm := flag.Bool("no-warm", false, "skip pre-building the headline snapshot; the first queries coalesce onto the cold build instead")
+	drain := flag.Duration("drain", 5*time.Second, "bound on draining in-flight requests at shutdown; whatever remains is force-closed")
+	adminEP := obsv.AdminFlag(nil)
+	flag.Parse()
+
+	cfg := manrsmeter.DefaultConfig(*seed)
+	if *scale == "small" {
+		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
+		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
+	} else if *scale != "full" {
+		log.Fatalf("unknown -scale %q (want small or full)", *scale)
+	}
+
+	start := time.Now()
+	world, err := manrsmeter.GenerateWorld(cfg)
+	if err != nil {
+		log.Fatalf("generate world: %v", err)
+	}
+	log.Printf("generated synthetic Internet: %d ASes, %d MANRS members (%.1fs)",
+		world.Graph.NumASes(), world.MANRS.Len(), time.Since(start).Seconds())
+
+	serveLog := obsv.NewLogger(os.Stderr, obsv.LevelInfo).With("serve")
+	store := serve.NewStore(world, serve.StoreOptions{
+		Workers:      *workers,
+		BuildTimeout: *buildTimeout,
+	})
+	srv := serve.NewServer(store, serve.Options{
+		MaxInFlight:    *maxInFlight,
+		RequestTimeout: *requestTimeout,
+		Logf: func(format string, args ...any) {
+			serveLog.Error(fmt.Sprintf(format, args...))
+		},
+	})
+
+	// SIGINT/SIGTERM drain; a second signal kills the process via the
+	// restored default handler (NotifyContext stops listening once the
+	// context is done).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if !*noWarm {
+		warmStart := time.Now()
+		if _, err := store.Get(ctx, store.DefaultDate()); err != nil {
+			log.Fatalf("warm headline snapshot: %v", err)
+		}
+		log.Printf("headline snapshot %s published (%.1fs)",
+			store.Version(store.DefaultDate()), time.Since(warmStart).Seconds())
+	}
+
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving conformance queries on http://%s", addr)
+
+	if adminAddr, err := adminEP.Start(func() obsv.Health {
+		detail := store.Status()
+		detail["ready"] = fmt.Sprint(store.Ready())
+		return obsv.Health{OK: store.Ready(), Detail: detail}
+	}); err != nil {
+		log.Fatalf("admin endpoint: %v", err)
+	} else if adminAddr != nil {
+		log.Printf("admin endpoint on http://%s", adminAddr)
+	}
+
+	if *refresh > 0 {
+		go store.RefreshLoop(ctx, *refresh)
+		log.Printf("background snapshot refresh every %v", *refresh)
+	}
+
+	<-ctx.Done()
+	log.Printf("shutting down (draining up to %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = srv.Shutdown(drainCtx)
+	if aerr := adminEP.Shutdown(drainCtx); aerr != nil {
+		log.Printf("shutdown admin: %v", aerr)
+	}
+	if err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

@@ -37,7 +37,7 @@ func main() {
 	retries := flag.Int("retries", 5, "with -fetch: dial attempts before giving up (cache may be restarting)")
 	timeout := flag.Duration("timeout", 30*time.Second, "with -fetch: overall fetch deadline")
 	drain := flag.Duration("drain", 5*time.Second, "bound on waiting for client sessions to finish at shutdown; whatever remains is force-closed")
-	admin := flag.String("admin", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address")
+	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 
 	if *fetch != "" {
@@ -74,18 +74,15 @@ func main() {
 	}
 	log.Printf("serving %d VRPs on %s (RTR v%d)", len(vrps), addr, rtr.Version)
 
-	var adm *obsv.Admin
-	if *admin != "" {
-		adm, _, err = obsv.Serve(*admin, func() obsv.Health {
-			return obsv.Health{OK: true, Detail: map[string]string{
-				"serial": fmt.Sprint(srv.Serial()),
-				"vrps":   fmt.Sprint(len(vrps)),
-			}}
-		})
-		if err != nil {
-			log.Fatalf("admin endpoint: %v", err)
-		}
-		log.Printf("admin endpoint on http://%s", adm.Addr())
+	if adminAddr, err := adminEP.Start(func() obsv.Health {
+		return obsv.Health{OK: true, Detail: map[string]string{
+			"serial": fmt.Sprint(srv.Serial()),
+			"vrps":   fmt.Sprint(len(vrps)),
+		}}
+	}); err != nil {
+		log.Fatalf("admin endpoint: %v", err)
+	} else if adminAddr != nil {
+		log.Printf("admin endpoint on http://%s", adminAddr)
 	}
 
 	// SIGINT/SIGTERM drain client sessions for up to -drain before
@@ -98,10 +95,8 @@ func main() {
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	err = srv.Shutdown(drainCtx)
-	if adm != nil {
-		if aerr := adm.Shutdown(drainCtx); aerr != nil {
-			log.Printf("shutdown admin: %v", aerr)
-		}
+	if aerr := adminEP.Shutdown(drainCtx); aerr != nil {
+		log.Printf("shutdown admin: %v", aerr)
 	}
 	if err != nil {
 		log.Fatal(err)

@@ -55,9 +55,16 @@ func NewPipelineWith(w *synth.World, opts Options) (*Pipeline, error) {
 // the headline dataset build: a canceled context aborts construction
 // with the cancellation cause instead of finishing the build.
 func NewPipelineCtx(ctx context.Context, w *synth.World, opts Options) (*Pipeline, error) {
+	return NewPipelineAtCtx(ctx, w, w.Date(w.Config.EndYear), opts)
+}
+
+// NewPipelineAtCtx is NewPipelineCtx pinned to an arbitrary measurement
+// date instead of the study's end date: the dataset and per-AS metrics
+// are built from the world's immutable snapshot views at asOf. The
+// serving layer uses it to answer historical date keys.
+func NewPipelineAtCtx(ctx context.Context, w *synth.World, asOf time.Time, opts Options) (*Pipeline, error) {
 	ctx, span := obsv.StartSpan(ctx, "pipeline.build")
 	defer span.End()
-	asOf := w.Date(w.Config.EndYear)
 	span.SetAttr("asof", asOf.Format("2006-01-02"))
 	ds, err := w.DatasetAtCtx(ctx, asOf, opts.Workers)
 	if err != nil {

@@ -136,17 +136,22 @@ const (
 	CDNAction4Threshold = 100.0
 )
 
+// Action4Threshold returns the program's conformance threshold, in
+// percent of originated prefixes.
+func Action4Threshold(program Program) float64 {
+	if program == ProgramCDN {
+		return CDNAction4Threshold
+	}
+	return ISPAction4Threshold
+}
+
 // Action4Conformant evaluates MANRS Action 4 for an AS in the given
 // program. An AS originating nothing is trivially conformant (§8.3).
 func Action4Conformant(m *ASMetrics, program Program) bool {
 	if m == nil || m.Originated == 0 {
 		return true
 	}
-	threshold := ISPAction4Threshold
-	if program == ProgramCDN {
-		threshold = CDNAction4Threshold
-	}
-	return m.OGConformant() >= threshold
+	return m.OGConformant() >= Action4Threshold(program)
 }
 
 // Action1Conformant evaluates MANRS Action 1 (§9.3): fully conformant

@@ -1,0 +1,535 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/obsv"
+	"manrsmeter/internal/synth"
+)
+
+// sharedWorld is generated once: every test reads it through immutable
+// snapshot views, so sharing is safe and keeps the suite fast.
+var (
+	worldOnce sync.Once
+	worldVal  *synth.World
+	worldErr  error
+)
+
+func testWorld(t testing.TB) *synth.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		cfg := synth.NewConfig(1)
+		cfg.Tier1s = 3
+		cfg.LargeISPs = 3
+		cfg.MediumISPs = 60
+		cfg.SmallASes = 700
+		cfg.CDNs = 8
+		cfg.MANRSSmall = 70
+		cfg.MANRSMedium = 20
+		cfg.MANRSLarge = 3
+		cfg.MANRSCDNs = 4
+		worldVal, worldErr = synth.Generate(cfg)
+	})
+	if worldErr != nil {
+		t.Fatal(worldErr)
+	}
+	return worldVal
+}
+
+// newTestServer builds a store and server over the shared world with a
+// private registry, so counter assertions never see another test's
+// traffic.
+func newTestServer(t testing.TB, opts Options) (*Store, *Server, *obsv.Registry) {
+	t.Helper()
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{Registry: reg})
+	opts.Registry = reg
+	return store, NewServer(store, opts), reg
+}
+
+func get(h http.Handler, path string, hdr map[string]string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decode %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+// TestColdConcurrentQueriesCoalesce is the acceptance criterion for the
+// singleflight path: 64 goroutines race mixed queries against a cold
+// store and exactly one dataset build runs.
+func TestColdConcurrentQueriesCoalesce(t *testing.T) {
+	store, srv, reg := newTestServer(t, Options{})
+	h := srv.Handler()
+	w := testWorld(t)
+
+	asn := w.Graph.ASNs()[0]
+	og := w.OriginationsAt(store.DefaultDate())[0]
+	paths := []string{
+		"/v1/stats",
+		fmt.Sprintf("/v1/as/%d/conformance", asn),
+		"/v1/prefix/" + og.Prefix.String(),
+		"/v1/report",
+	}
+
+	const n = 64
+	start := make(chan struct{})
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			codes[i] = get(h, paths[i%len(paths)], nil).Code
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d (%s): got %d", i, paths[i%len(paths)], code)
+		}
+	}
+	if builds := reg.Value("serve_snapshot_builds_total"); builds != 1 {
+		t.Fatalf("64 concurrent cold queries ran %d builds, want exactly 1", builds)
+	}
+	if reg.Value("serve_snapshot_coalesced_total") == 0 {
+		t.Error("no request coalesced onto the in-flight build")
+	}
+}
+
+// TestShedsAtAdmissionLimit holds the admission slots full with a
+// blocking build and checks arrivals beyond the limit are answered 503
+// with Retry-After, not queued.
+func TestShedsAtAdmissionLimit(t *testing.T) {
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{Registry: reg})
+	release := make(chan struct{})
+	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &Snapshot{Version: "test@blocked", Date: date, Stats: &EcosystemStats{}}, nil
+	}
+	const limit, total = 4, 10
+	srv := NewServer(store, Options{MaxInFlight: limit, Registry: reg})
+	h := srv.Handler()
+
+	type result struct {
+		code       int
+		retryAfter string
+	}
+	results := make([]result, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := get(h, "/v1/stats", nil)
+			results[i] = result{rec.Code, rec.Header().Get("Retry-After")}
+		}(i)
+	}
+	// The admitted requests hold their slots until the build is
+	// released, so exactly total-limit requests must shed. Wait for
+	// them all to have been turned away before releasing the build.
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Value("serve_shed_total") < total-limit {
+		if time.Now().After(deadline) {
+			t.Fatalf("shed %d requests, want %d", reg.Value("serve_shed_total"), total-limit)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	ok, shed := 0, 0
+	for _, r := range results {
+		switch r.code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+			if r.retryAfter != "1" {
+				t.Errorf("503 missing Retry-After: %q", r.retryAfter)
+			}
+		default:
+			t.Errorf("unexpected status %d", r.code)
+		}
+	}
+	if ok != limit || shed != total-limit {
+		t.Fatalf("got %d ok + %d shed, want %d + %d", ok, shed, limit, total-limit)
+	}
+	if reg.Value("serve_shed_total") != total-limit {
+		t.Errorf("serve_shed_total = %d, want %d", reg.Value("serve_shed_total"), total-limit)
+	}
+}
+
+// TestETagStableAcrossRefresh is the cache-coherence acceptance
+// criterion: a background refresh of the same world and date must
+// produce byte-identical JSON and the same strong ETag, and
+// If-None-Match revalidation must answer 304.
+func TestETagStableAcrossRefresh(t *testing.T) {
+	store, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	first := get(h, "/v1/stats", nil)
+	if first.Code != http.StatusOK {
+		t.Fatalf("stats: %d %s", first.Code, first.Body.String())
+	}
+	etag := first.Header().Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing strong ETag, got %q", etag)
+	}
+
+	if err := store.Refresh(context.Background(), store.DefaultDate()); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+
+	// A second server over the refreshed store has an empty response
+	// cache, so this re-renders from the rebuilt snapshot.
+	reg2 := obsv.NewRegistry()
+	srv2 := NewServer(store, Options{Registry: reg2})
+	second := get(srv2.Handler(), "/v1/stats", nil)
+	if second.Code != http.StatusOK {
+		t.Fatalf("stats after refresh: %d", second.Code)
+	}
+	if second.Body.String() != first.Body.String() {
+		t.Error("response bytes changed across a same-version refresh")
+	}
+	if got := second.Header().Get("ETag"); got != etag {
+		t.Errorf("ETag changed across refresh: %q != %q", got, etag)
+	}
+
+	not := get(srv2.Handler(), "/v1/stats", map[string]string{"If-None-Match": etag})
+	if not.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation: got %d, want 304", not.Code)
+	}
+	if not.Body.Len() != 0 {
+		t.Errorf("304 carried a body: %q", not.Body.String())
+	}
+	if reg2.Value("serve_not_modified_total") != 1 {
+		t.Errorf("serve_not_modified_total = %d, want 1", reg2.Value("serve_not_modified_total"))
+	}
+
+	// A weak or listed validator must also revalidate (RFC 9110 list
+	// grammar), and a stale one must not.
+	weak := get(srv2.Handler(), "/v1/stats", map[string]string{"If-None-Match": `"deadbeef", W/` + etag})
+	if weak.Code != http.StatusNotModified {
+		t.Errorf("list If-None-Match: got %d, want 304", weak.Code)
+	}
+	stale := get(srv2.Handler(), "/v1/stats", map[string]string{"If-None-Match": `"deadbeef"`})
+	if stale.Code != http.StatusOK {
+		t.Errorf("stale If-None-Match: got %d, want 200", stale.Code)
+	}
+}
+
+func TestCachedResponsesCountHits(t *testing.T) {
+	_, srv, reg := newTestServer(t, Options{})
+	h := srv.Handler()
+	if rec := get(h, "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	if rec := get(h, "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	if hits := reg.Value("serve_cache_hits_total"); hits != 1 {
+		t.Errorf("serve_cache_hits_total = %d, want 1", hits)
+	}
+	if misses := reg.Value("serve_cache_misses_total"); misses != 1 {
+		t.Errorf("serve_cache_misses_total = %d, want 1", misses)
+	}
+}
+
+func TestASConformanceEndpoint(t *testing.T) {
+	store, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+	w := testWorld(t)
+	member := w.MANRS.Members(store.DefaultDate())[0]
+
+	rec := get(h, fmt.Sprintf("/v1/as/%d/conformance", member.ASN), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("conformance: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decode[ASConformance](t, rec)
+	if got.ASN != member.ASN || !got.Member {
+		t.Errorf("ASN %d member=%v, want member %d", got.ASN, got.Member, member.ASN)
+	}
+	if got.Program == "" || got.Joined == "" {
+		t.Errorf("member fields missing: program=%q joined=%q", got.Program, got.Joined)
+	}
+	if got.SizeClass == "" {
+		t.Error("size class missing")
+	}
+	if got.Action4.Threshold == nil {
+		t.Fatal("Action 4 threshold missing")
+	}
+	if th := *got.Action4.Threshold; th != 90 && th != 100 {
+		t.Errorf("Action 4 threshold = %v, want 90 (ISP) or 100 (CDN)", th)
+	}
+	sum := 0
+	for _, n := range got.OriginRPKI {
+		sum += n
+	}
+	if sum != got.Originated {
+		t.Errorf("origin RPKI breakdown sums to %d, want %d", sum, got.Originated)
+	}
+}
+
+func TestPrefixEndpoint(t *testing.T) {
+	store, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+	snap, err := store.Get(context.Background(), store.DefaultDate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	po := snap.Dataset().PrefixOrigins[0]
+
+	rec := get(h, fmt.Sprintf("/v1/prefix/%s?origin=%d", po.Prefix, po.Origin), nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prefix: %d %s", rec.Code, rec.Body.String())
+	}
+	got := decode[PrefixInfo](t, rec)
+	if got.Prefix != po.Prefix.String() {
+		t.Errorf("prefix %q, want %q", got.Prefix, po.Prefix)
+	}
+	if len(got.Originations) == 0 {
+		t.Fatal("no originations for a routed prefix")
+	}
+	found := false
+	for _, o := range got.Originations {
+		if o.Origin == po.Origin {
+			found = true
+			if o.RPKI != statusKey(po.RPKI) || o.IRR != statusKey(po.IRR) {
+				t.Errorf("statuses %s/%s, want %s/%s", o.RPKI, o.IRR, statusKey(po.RPKI), statusKey(po.IRR))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("origin AS%d missing from originations", po.Origin)
+	}
+	if got.Validation == nil {
+		t.Fatal("?origin given but no validation block")
+	}
+	if got.Validation.RPKI != statusKey(po.RPKI) {
+		t.Errorf("validation rpki %s, want %s", got.Validation.RPKI, statusKey(po.RPKI))
+	}
+}
+
+func TestStatsEndpointSanity(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	rec := get(srv.Handler(), "/v1/stats", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: %d", rec.Code)
+	}
+	got := decode[EcosystemStats](t, rec)
+	if got.ASes == 0 || got.Members == 0 || got.PrefixOrigins == 0 {
+		t.Fatalf("empty aggregates: %+v", got)
+	}
+	if n := got.Conformant + got.Unconformant + got.Unregistered; n != got.PrefixOrigins {
+		t.Errorf("conformance partition sums to %d, want %d", n, got.PrefixOrigins)
+	}
+	if len(got.SizeClasses) != 6 {
+		t.Errorf("size classes = %d, want 6 (3 classes x membership)", len(got.SizeClasses))
+	}
+}
+
+func TestReportEndpoints(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	idx := get(h, "/v1/report", nil)
+	if idx.Code != http.StatusOK {
+		t.Fatalf("report index: %d", idx.Code)
+	}
+	index := decode[ReportIndex](t, idx)
+	if len(index.Sections) < 10 {
+		t.Fatalf("only %d sections listed", len(index.Sections))
+	}
+
+	for _, name := range []string{"table2-action1", "fig6-saturation"} {
+		rec := get(h, "/v1/report/"+name, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("section %s: %d %s", name, rec.Code, rec.Body.String())
+		}
+		sec := decode[ReportSection](t, rec)
+		if sec.Section != name || sec.Rendered == "" || sec.Title == "" {
+			t.Errorf("section %s: empty render", name)
+		}
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/v1/as/banana/conformance", http.StatusBadRequest},
+		{"/v1/as/99999999/conformance", http.StatusNotFound},
+		{"/v1/prefix/banana", http.StatusBadRequest},
+		{"/v1/prefix/10.0.0.0/24?origin=banana", http.StatusBadRequest},
+		{"/v1/stats?date=tomorrow", http.StatusBadRequest},
+		{"/v1/report/no-such-section", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		rec := get(h, tc.path, nil)
+		if rec.Code != tc.want {
+			t.Errorf("%s: got %d, want %d", tc.path, rec.Code, tc.want)
+		}
+		var env map[string]any
+		err := json.Unmarshal(rec.Body.Bytes(), &env)
+		if msg, _ := env["error"].(string); err != nil || msg == "" {
+			t.Errorf("%s: malformed error envelope %q", tc.path, rec.Body.String())
+		}
+	}
+}
+
+// TestRequestTimeout checks the request deadline propagates into the
+// snapshot wait and expires as 504, while the detached build is bounded
+// by its own timeout rather than the canceled request.
+func TestRequestTimeout(t *testing.T) {
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{Registry: reg, BuildTimeout: 200 * time.Millisecond})
+	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
+		<-ctx.Done() // never completes within any request deadline
+		return nil, ctx.Err()
+	}
+	srv := NewServer(store, Options{RequestTimeout: 30 * time.Millisecond, Registry: reg})
+	rec := get(srv.Handler(), "/v1/stats", nil)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("got %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestBuildFailureRetries checks a failed build is not sticky: the next
+// request starts a fresh build instead of serving the old error.
+func TestBuildFailureRetries(t *testing.T) {
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{Registry: reg})
+	fail := true
+	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
+		if fail {
+			fail = false
+			return nil, fmt.Errorf("transient build failure")
+		}
+		return &Snapshot{Version: "test@ok", Date: date, Stats: &EcosystemStats{}}, nil
+	}
+	srv := NewServer(store, Options{Registry: reg})
+	if rec := get(srv.Handler(), "/v1/stats", nil); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("failed build: got %d, want 500", rec.Code)
+	}
+	if rec := get(srv.Handler(), "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("retry after failed build: got %d, want 200", rec.Code)
+	}
+	if reg.Value("serve_snapshot_build_errors_total") != 1 {
+		t.Errorf("build errors = %d, want 1", reg.Value("serve_snapshot_build_errors_total"))
+	}
+}
+
+func TestHealthzAndStatus(t *testing.T) {
+	store, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	rec := get(h, "/healthz", nil)
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "warming" {
+		t.Fatalf("cold healthz: %d %q", rec.Code, rec.Body.String())
+	}
+	if store.Ready() {
+		t.Error("store ready before any build")
+	}
+	if _, err := store.Get(context.Background(), store.DefaultDate()); err != nil {
+		t.Fatal(err)
+	}
+	rec = get(h, "/healthz", nil)
+	if strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Fatalf("warm healthz: %q", rec.Body.String())
+	}
+	if !store.Ready() {
+		t.Error("store not ready after build")
+	}
+	status := store.Status()
+	key := "snapshot." + store.DefaultDate().Format("2006-01-02")
+	if status[key] != store.Version(store.DefaultDate()) {
+		t.Errorf("status[%s] = %q, want the published version", key, status[key])
+	}
+}
+
+func TestListenServeShutdown(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr.String() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over the wire: %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr.String() + "/v1/stats"); err == nil {
+		t.Error("server still answering after Shutdown")
+	}
+	// Shutdown is terminal: Serve must refuse to restart.
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Error("Listen succeeded on a closed server")
+	}
+}
+
+func TestDateKeyedSnapshots(t *testing.T) {
+	store, srv, reg := newTestServer(t, Options{})
+	h := srv.Handler()
+	w := testWorld(t)
+	earlier := w.Date(w.Config.EndYear - 1).Format("2006-01-02")
+
+	head := get(h, "/v1/stats", nil)
+	past := get(h, "/v1/stats?date="+earlier, nil)
+	if head.Code != http.StatusOK || past.Code != http.StatusOK {
+		t.Fatalf("codes %d/%d", head.Code, past.Code)
+	}
+	if head.Body.String() == past.Body.String() {
+		t.Error("historical snapshot identical to headline (date not pinned)")
+	}
+	headStats := decode[EcosystemStats](t, head)
+	pastStats := decode[EcosystemStats](t, past)
+	if pastStats.Members >= headStats.Members {
+		t.Errorf("membership did not grow: %d (past) >= %d (head)", pastStats.Members, headStats.Members)
+	}
+	if builds := reg.Value("serve_snapshot_builds_total"); builds != 2 {
+		t.Errorf("builds = %d, want 2 (one per date key)", builds)
+	}
+	if len(store.Status()) != 2 {
+		t.Errorf("status has %d entries, want 2", len(store.Status()))
+	}
+}

@@ -1,0 +1,431 @@
+// server.go is the HTTP face of the query layer: routing, admission
+// control (bounded in-flight with 503 load shedding), the snapshot-
+// version-keyed response cache with ETag/If-None-Match revalidation,
+// request deadlines propagated as contexts into the query layer, obsv
+// instrumentation, and the graceful Shutdown drain every daemon in
+// this repository uses.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"manrsmeter/internal/core"
+	"manrsmeter/internal/obsv"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// MaxInFlight bounds concurrently served /v1 requests; arrivals
+	// beyond it are shed with 503 + Retry-After instead of queueing.
+	// ≤ 0 means DefaultMaxInFlight.
+	MaxInFlight int
+	// RequestTimeout bounds one request end to end, including a cold
+	// snapshot build the request waits on; ≤ 0 means
+	// DefaultRequestTimeout. Expiry answers 504.
+	RequestTimeout time.Duration
+	// Workers bounds the goroutines snapshot builds fan out on.
+	Workers int
+	// BuildTimeout bounds one background snapshot build; 0 means none.
+	BuildTimeout time.Duration
+	// Registry receives the serving metrics; nil means obsv.Default().
+	Registry *obsv.Registry
+	// Tracer, when non-nil, records query → snapshot → pipeline spans.
+	Tracer *obsv.Tracer
+	// Logf, when set, receives operational events (serve errors).
+	Logf func(format string, args ...any)
+}
+
+// Serving defaults, exported so cmd/manrsd can document them in -help.
+const (
+	DefaultMaxInFlight    = 256
+	DefaultRequestTimeout = 30 * time.Second
+	// cacheCap bounds the response cache; entries are evicted FIFO.
+	cacheCap = 4096
+)
+
+// Server answers MANRS conformance queries over HTTP/JSON from a
+// snapshot Store. Construct with NewServer, serve with Listen or
+// Serve, stop with Shutdown (drains in-flight requests) — the same
+// lifecycle as every other daemon harness in this repository.
+type Server struct {
+	store *Store
+	opts  Options
+	sem   chan struct{}
+
+	cacheMu    sync.Mutex
+	cache      map[string]cachedResponse
+	cacheOrder []string
+
+	met serverMetrics
+
+	mu     sync.Mutex
+	srv    *http.Server
+	ln     net.Listener
+	closed bool
+}
+
+type cachedResponse struct {
+	body []byte
+	etag string
+}
+
+type serverMetrics struct {
+	reg         *obsv.Registry
+	inflight    *obsv.Gauge
+	shed        *obsv.Counter
+	cacheHits   *obsv.Counter
+	cacheMisses *obsv.Counter
+	notModified *obsv.Counter
+}
+
+// NewServer returns a Server over store.
+func NewServer(store *Store, opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = DefaultMaxInFlight
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obsv.Default()
+	}
+	return &Server{
+		store: store,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		cache: make(map[string]cachedResponse),
+		met: serverMetrics{
+			reg:         reg,
+			inflight:    reg.Gauge("serve_inflight_requests", "requests currently being served"),
+			shed:        reg.Counter("serve_shed_total", "requests shed with 503 at the admission limit"),
+			cacheHits:   reg.Counter("serve_cache_hits_total", "responses served from the version-keyed cache"),
+			cacheMisses: reg.Counter("serve_cache_misses_total", "responses rendered afresh"),
+			notModified: reg.Counter("serve_not_modified_total", "304 revalidations via If-None-Match"),
+		},
+	}
+}
+
+// Store exposes the underlying snapshot store (admin health probes).
+func (s *Server) Store() *Store { return s.store }
+
+// Handler returns the serving mux, so tests (and embedders) can drive
+// it without a socket.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, "manrsd — MANRS conformance query daemon\n"+
+			"GET /v1/as/{asn}/conformance\n"+
+			"GET /v1/prefix/{prefix}[?origin=ASN]\n"+
+			"GET /v1/stats\n"+
+			"GET /v1/report\n"+
+			"GET /v1/report/{section}\n"+
+			"All /v1 routes accept ?date=YYYY-MM-DD (default: the headline date).\n")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.store.Ready() {
+			fmt.Fprintln(w, "ok")
+			return
+		}
+		fmt.Fprintln(w, "warming") // still 200: serving, first build pending
+	})
+	mux.HandleFunc("GET /v1/as/{asn}/conformance", s.route("as_conformance",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return asConformance(snap, r.PathValue("asn"))
+		}))
+	mux.HandleFunc("GET /v1/prefix/{p...}", s.route("prefix",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return prefixInfo(snap, r.PathValue("p"), r.URL.Query().Get("origin"))
+		}))
+	mux.HandleFunc("GET /v1/stats", s.route("stats",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return snap.Stats, nil
+		}))
+	mux.HandleFunc("GET /v1/report", s.route("report_index",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return &ReportIndex{
+				AsOf:     snap.Date.Format("2006-01-02"),
+				Snapshot: snap.Version,
+				Sections: core.SectionNames(),
+			}, nil
+		}))
+	mux.HandleFunc("GET /v1/report/{section}", s.route("report_section",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return reportSection(ctx, snap, r.PathValue("section"))
+		}))
+	return mux
+}
+
+// route wraps a query function with the full serving path: span,
+// admission, deadline, snapshot resolution, response cache, ETag
+// revalidation, instrumentation, and JSON rendering.
+func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error)) http.HandlerFunc {
+	requests := func(code int) *obsv.Counter {
+		return s.met.reg.Counter("serve_requests_total", "requests by route and status",
+			"route", name, "code", fmt.Sprint(code))
+	}
+	latency := s.met.reg.Histogram("serve_request_seconds", "request latency by route", nil, "route", name)
+
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx := r.Context()
+		if s.opts.Tracer != nil {
+			ctx = obsv.ContextWithTracer(ctx, s.opts.Tracer)
+		}
+		ctx, span := obsv.StartSpan(ctx, "serve.query", obsv.KV("route", name), obsv.KV("path", r.URL.Path))
+		defer span.End()
+
+		// Admission: acquire a slot or shed. Shedding is deliberate —
+		// a bounded queue would still grow unbounded latency under
+		// sustained overload; a fast 503 lets well-behaved clients
+		// back off and retry.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.met.shed.Inc()
+			requests(http.StatusServiceUnavailable).Inc()
+			span.SetAttr("shed", true)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusServiceUnavailable, "overloaded: admission limit reached, retry later")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.met.inflight.Inc()
+		defer s.met.inflight.Dec()
+		defer func() { latency.Observe(time.Since(start).Seconds()) }()
+
+		ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+
+		date, err := s.resolveDate(r)
+		if err != nil {
+			requests(http.StatusBadRequest).Inc()
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+
+		// The cache key pins the snapshot version, so a refresh of the
+		// same world+date (same version) keeps every entry valid and a
+		// changed world invalidates everything at once.
+		key := s.store.Version(date) + "|" + r.URL.Path + "|" + r.URL.RawQuery
+		if resp, ok := s.cacheGet(key); ok {
+			s.met.cacheHits.Inc()
+			span.SetAttr("cache", "hit")
+			code := s.writeCached(w, r, resp)
+			requests(code).Inc()
+			return
+		}
+		s.met.cacheMisses.Inc()
+		span.SetAttr("cache", "miss")
+
+		snap, err := s.store.Get(ctx, date)
+		if err != nil {
+			code := errorCode(ctx, err)
+			requests(code).Inc()
+			s.logf("serve: %s %s: snapshot: %v", r.Method, r.URL.Path, err)
+			s.writeError(w, code, err.Error())
+			return
+		}
+		val, err := q(ctx, snap, r)
+		if err != nil {
+			code := errorCode(ctx, err)
+			requests(code).Inc()
+			if code >= http.StatusInternalServerError {
+				s.logf("serve: %s %s: %v", r.Method, r.URL.Path, err)
+			}
+			s.writeError(w, code, err.Error())
+			return
+		}
+		body, err := json.MarshalIndent(val, "", "  ")
+		if err != nil {
+			requests(http.StatusInternalServerError).Inc()
+			s.logf("serve: %s %s: encode: %v", r.Method, r.URL.Path, err)
+			s.writeError(w, http.StatusInternalServerError, "response encoding failed")
+			return
+		}
+		body = append(body, '\n')
+		resp := cachedResponse{body: body, etag: etagFor(snap.Version, body)}
+		s.cachePut(key, resp)
+		code := s.writeCached(w, r, resp)
+		requests(code).Inc()
+	}
+}
+
+// resolveDate parses ?date=YYYY-MM-DD, defaulting to the headline date.
+func (s *Server) resolveDate(r *http.Request) (time.Time, error) {
+	q := r.URL.Query().Get("date")
+	if q == "" {
+		return s.store.DefaultDate(), nil
+	}
+	t, err := time.Parse("2006-01-02", q)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad date %q: want YYYY-MM-DD", q)
+	}
+	return t, nil
+}
+
+// writeCached answers from a rendered response, handling ETag
+// revalidation, and returns the status code sent.
+func (s *Server) writeCached(w http.ResponseWriter, r *http.Request, resp cachedResponse) int {
+	w.Header().Set("ETag", resp.etag)
+	w.Header().Set("Cache-Control", "public, max-age=0, must-revalidate")
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, resp.etag) {
+		s.met.notModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return http.StatusNotModified
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(resp.body)
+	return http.StatusOK
+}
+
+// etagFor derives a strong validator from the snapshot version and the
+// exact bytes — stable across background rebuilds of the same version.
+func etagFor(version string, body []byte) string {
+	h := fnv.New64a()
+	h.Write([]byte(version))
+	h.Write(body)
+	return fmt.Sprintf(`"%016x"`, h.Sum64())
+}
+
+// etagMatch implements the If-None-Match list grammar (RFC 9110 §13.1.2).
+func etagMatch(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) cacheGet(key string) (cachedResponse, bool) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	resp, ok := s.cache[key]
+	return resp, ok
+}
+
+func (s *Server) cachePut(key string, resp cachedResponse) {
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if _, ok := s.cache[key]; ok {
+		return
+	}
+	if len(s.cacheOrder) >= cacheCap {
+		delete(s.cache, s.cacheOrder[0])
+		s.cacheOrder = s.cacheOrder[1:]
+	}
+	s.cache[key] = resp
+	s.cacheOrder = append(s.cacheOrder, key)
+}
+
+// errorCode maps a handler error to its HTTP status.
+func errorCode(ctx context.Context, err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.code
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+// writeError renders the uniform JSON error envelope.
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	body, _ := json.Marshal(map[string]any{"error": msg, "status": code})
+	_, _ = w.Write(append(body, '\n'))
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Listen binds addr (":0" for an ephemeral port), starts serving in
+// the background, and returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Serve(ln); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln.Addr(), nil
+}
+
+// Serve starts answering queries from ln in the background. The
+// listener may be wrapped (fault injection in chaos tests).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("serve: server closed")
+	}
+	if s.srv != nil {
+		return fmt.Errorf("serve: server already serving")
+	}
+	s.ln = ln
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	srv := s.srv
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("serve: listener: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully drains the server: no new connections, in-flight
+// requests finish until ctx expires, then remaining connections are
+// force-closed. Safe to call without a prior Listen.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	srv := s.srv
+	s.closed = true
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package serve is the production query layer over MANRS datasets: a
+// versioned snapshot store (date-keyed pipeline builds published with
+// atomic pointer swaps, singleflight-coalesced so N concurrent cold
+// queries trigger exactly one build) and a stdlib-only HTTP/JSON server
+// answering per-AS conformance, per-prefix origination/ROA, ecosystem
+// aggregate, and rendered-report-section queries, hardened with
+// bounded-concurrency admission control, a snapshot-version-keyed
+// response cache with ETags, request timeouts, and graceful drain.
+// See DESIGN.md, "Serving layer".
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"manrsmeter/internal/core"
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
+	"manrsmeter/internal/rov"
+	"manrsmeter/internal/synth"
+)
+
+// Snapshot is one immutable, versioned view of the world at a date:
+// the built pipeline (dataset + per-AS metrics), the validation
+// indexes for arbitrary (prefix, origin) queries, a prefix → dataset
+// row index for point lookups, and precomputed ecosystem aggregates.
+// Snapshots are shared across requests and must never be mutated.
+type Snapshot struct {
+	// Version identifies the snapshot's content, not its build: it is
+	// derived from the world fingerprint and the date, so a background
+	// rebuild of the same world and date yields the same version and
+	// byte-identical responses (ETag-stable across refreshes).
+	Version string
+	// Date is the measurement date the snapshot answers for.
+	Date time.Time
+	// World and Pipeline are the analysis substrate at Date.
+	World    *synth.World
+	Pipeline *core.Pipeline
+	// RPKI and IRR answer origin-validation queries for prefixes and
+	// origins beyond those in the dataset.
+	RPKI, IRR *rov.Index
+	// Stats are the precomputed /v1/stats aggregates.
+	Stats *EcosystemStats
+
+	byPrefix map[netx.Prefix][]int // dataset PrefixOrigins rows per prefix
+}
+
+// rowsFor returns the PrefixOrigins row indexes announcing p.
+func (s *Snapshot) rowsFor(p netx.Prefix) []int { return s.byPrefix[p] }
+
+// Dataset is shorthand for the snapshot's IHR dataset.
+func (s *Snapshot) Dataset() *ihr.Dataset { return s.Pipeline.Dataset() }
+
+// Store builds, versions, and publishes snapshots per date key.
+//
+// The hot path — Get on a date whose snapshot is published — is one
+// mutex-free atomic pointer load after the entry lookup. Cold queries
+// coalesce: the first request starts a background build and every
+// concurrent request for the same date waits on that one build (the
+// serve_snapshot_coalesced_total counter proves exactly one build ran).
+// Builds run detached from the requesting context, so a canceled
+// request never aborts a build other requests are waiting on; Refresh
+// rebuilds a date in the background and publishes the replacement with
+// an atomic swap, never blocking readers.
+type Store struct {
+	world   *synth.World
+	workers int
+	// buildTimeout bounds one background build; 0 means none.
+	buildTimeout time.Duration
+	// buildFn builds the snapshot for a date. Tests swap it to inject
+	// slow or failing builds; the default is buildSnapshot.
+	buildFn func(ctx context.Context, date time.Time) (*Snapshot, error)
+
+	mu      sync.Mutex
+	entries map[int64]*storeEntry
+
+	met storeMetrics
+}
+
+// storeEntry is the per-date-key publication slot.
+type storeEntry struct {
+	date time.Time
+	snap atomic.Pointer[Snapshot]
+
+	mu       sync.Mutex
+	building *buildCall
+}
+
+// buildCall is one in-flight build that any number of requests await.
+type buildCall struct {
+	done chan struct{}
+	snap *Snapshot
+	err  error
+}
+
+type storeMetrics struct {
+	builds       *obsv.Counter
+	buildErrors  *obsv.Counter
+	coalesced    *obsv.Counter
+	hits         *obsv.Counter
+	refreshes    *obsv.Counter
+	buildSeconds *obsv.Histogram
+}
+
+// StoreOptions tunes a Store.
+type StoreOptions struct {
+	// Workers bounds the goroutines a snapshot build fans out on; ≤ 0
+	// means one per CPU.
+	Workers int
+	// BuildTimeout bounds one background snapshot build; 0 means none.
+	BuildTimeout time.Duration
+	// Registry receives the store's metrics; nil means obsv.Default().
+	Registry *obsv.Registry
+}
+
+// NewStore returns a Store over w. The world is shared and read-only:
+// builds use the immutable snapshot views, so any number of stores (or
+// pipelines) may run over one world.
+func NewStore(w *synth.World, opts StoreOptions) *Store {
+	reg := opts.Registry
+	if reg == nil {
+		reg = obsv.Default()
+	}
+	s := &Store{
+		world:        w,
+		workers:      opts.Workers,
+		buildTimeout: opts.BuildTimeout,
+		entries:      make(map[int64]*storeEntry),
+		met: storeMetrics{
+			builds:       reg.Counter("serve_snapshot_builds_total", "snapshot builds started"),
+			buildErrors:  reg.Counter("serve_snapshot_build_errors_total", "snapshot builds that failed"),
+			coalesced:    reg.Counter("serve_snapshot_coalesced_total", "requests that joined an in-flight snapshot build"),
+			hits:         reg.Counter("serve_snapshot_hits_total", "requests answered from a published snapshot"),
+			refreshes:    reg.Counter("serve_snapshot_refresh_total", "background snapshot refreshes"),
+			buildSeconds: reg.Histogram("serve_snapshot_build_seconds", "snapshot build latency", nil),
+		},
+	}
+	s.buildFn = s.buildSnapshot
+	return s
+}
+
+// DefaultDate is the headline measurement date (May 1 of the world's
+// final study year) — the date queries without ?date= resolve to.
+func (s *Store) DefaultDate() time.Time {
+	return s.world.Date(s.world.Config.EndYear)
+}
+
+// Version returns the version a snapshot at date carries, without
+// building anything.
+func (s *Store) Version(date time.Time) string {
+	return fmt.Sprintf("%s@%s", s.world.Fingerprint(), date.Format("2006-01-02"))
+}
+
+func (s *Store) entry(date time.Time) *storeEntry {
+	key := date.Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		e = &storeEntry{date: date}
+		s.entries[key] = e
+	}
+	return e
+}
+
+// Get returns the snapshot at date, building it if no build has
+// succeeded yet. Concurrent cold calls for one date coalesce onto a
+// single build; ctx cancels only this caller's wait, never the build.
+func (s *Store) Get(ctx context.Context, date time.Time) (*Snapshot, error) {
+	ctx, span := obsv.StartSpan(ctx, "serve.snapshot", obsv.KV("date", date.Format("2006-01-02")))
+	defer span.End()
+	e := s.entry(date)
+	if snap := e.snap.Load(); snap != nil {
+		s.met.hits.Inc()
+		span.SetAttr("source", "published")
+		return snap, nil
+	}
+
+	e.mu.Lock()
+	call := e.building
+	if call == nil {
+		// Re-check under the lock: a build may have published between
+		// the lock-free read and here.
+		if snap := e.snap.Load(); snap != nil {
+			e.mu.Unlock()
+			s.met.hits.Inc()
+			span.SetAttr("source", "published")
+			return snap, nil
+		}
+		call = &buildCall{done: make(chan struct{})}
+		e.building = call
+		s.startBuild(ctx, e, call)
+		span.SetAttr("source", "build")
+	} else {
+		s.met.coalesced.Inc()
+		span.SetAttr("source", "coalesced")
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	case <-call.done:
+		return call.snap, call.err
+	}
+}
+
+// Refresh rebuilds the snapshot at date and publishes the replacement
+// with an atomic swap. Readers keep the old snapshot until the new one
+// is published; a failed rebuild leaves the old snapshot in place. If a
+// build for the date is already in flight, Refresh joins it.
+func (s *Store) Refresh(ctx context.Context, date time.Time) error {
+	s.met.refreshes.Inc()
+	e := s.entry(date)
+	e.mu.Lock()
+	call := e.building
+	if call == nil {
+		call = &buildCall{done: make(chan struct{})}
+		e.building = call
+		s.startBuild(ctx, e, call)
+	} else {
+		s.met.coalesced.Inc()
+	}
+	e.mu.Unlock()
+
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	case <-call.done:
+		return call.err
+	}
+}
+
+// startBuild launches the build goroutine for call. The build runs on
+// a context detached from the requester (inheriting only its tracer)
+// so request cancellation cannot abort a build other waiters share.
+func (s *Store) startBuild(ctx context.Context, e *storeEntry, call *buildCall) {
+	s.met.builds.Inc()
+	bctx := obsv.ContextWithTracer(context.Background(), obsv.TracerFrom(ctx))
+	go func() {
+		var cancel context.CancelFunc = func() {}
+		if s.buildTimeout > 0 {
+			bctx, cancel = context.WithTimeout(bctx, s.buildTimeout)
+		}
+		defer cancel()
+		start := time.Now()
+		snap, err := s.buildFn(bctx, e.date)
+		s.met.buildSeconds.Observe(time.Since(start).Seconds())
+		if err != nil {
+			s.met.buildErrors.Inc()
+		}
+		call.snap, call.err = snap, err
+		e.mu.Lock()
+		if err == nil {
+			e.snap.Store(snap) // atomic publish; readers never block
+		}
+		e.building = nil // a later request may retry a failed build
+		e.mu.Unlock()
+		close(call.done)
+	}()
+}
+
+// buildSnapshot is the production build: pipeline (dataset + metrics)
+// through the established parallel path, validation indexes, the
+// prefix row index, and the precomputed aggregates.
+func (s *Store) buildSnapshot(ctx context.Context, date time.Time) (*Snapshot, error) {
+	ctx, span := obsv.StartSpan(ctx, "serve.snapshot.build", obsv.KV("date", date.Format("2006-01-02")))
+	defer span.End()
+	pipe, err := core.NewPipelineAtCtx(ctx, s.world, date, core.Options{Workers: s.workers})
+	if err != nil {
+		return nil, fmt.Errorf("serve: build pipeline: %w", err)
+	}
+	rpkiIx, irrIx, err := s.world.IndexesAt(date)
+	if err != nil {
+		return nil, fmt.Errorf("serve: build indexes: %w", err)
+	}
+	snap := &Snapshot{
+		Version:  s.Version(date),
+		Date:     date,
+		World:    s.world,
+		Pipeline: pipe,
+		RPKI:     rpkiIx,
+		IRR:      irrIx,
+		byPrefix: make(map[netx.Prefix][]int),
+	}
+	for i, po := range pipe.Dataset().PrefixOrigins {
+		snap.byPrefix[po.Prefix] = append(snap.byPrefix[po.Prefix], i)
+	}
+	snap.Stats = computeStats(snap)
+	return snap, nil
+}
+
+// Status summarizes the store for an admin /healthz probe: one
+// "snapshot.<date>" detail per known date key, "published" or
+// "building".
+func (s *Store) Status() map[string]string {
+	s.mu.Lock()
+	entries := make([]*storeEntry, 0, len(s.entries))
+	for _, e := range s.entries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].date.Before(entries[j].date) })
+	out := make(map[string]string, len(entries))
+	for _, e := range entries {
+		state := "building"
+		if snap := e.snap.Load(); snap != nil {
+			state = snap.Version
+		}
+		out["snapshot."+e.date.Format("2006-01-02")] = state
+	}
+	return out
+}
+
+// Ready reports whether the headline snapshot is published.
+func (s *Store) Ready() bool {
+	return s.entry(s.DefaultDate()).snap.Load() != nil
+}
+
+// RefreshLoop rebuilds every known date key each interval until ctx is
+// done — the background refresh path of a long-running daemon. Each
+// cycle's rebuilds publish atomically; readers are never blocked and
+// never see a partially built snapshot.
+func (s *Store) RefreshLoop(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.mu.Lock()
+			dates := make([]time.Time, 0, len(s.entries))
+			for _, e := range s.entries {
+				dates = append(dates, e.date)
+			}
+			s.mu.Unlock()
+			for _, d := range dates {
+				_ = s.Refresh(ctx, d)
+			}
+		}
+	}
+}

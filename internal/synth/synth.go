@@ -20,6 +20,7 @@ package synth
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sync"
 	"time"
@@ -257,6 +258,18 @@ func Generate(cfg Config) (*World, error) {
 // Date returns the canonical May-1 measurement date for a year.
 func (w *World) Date(year int) time.Time {
 	return time.Date(year, 5, 1, 0, 0, 0, 0, time.UTC)
+}
+
+// Fingerprint identifies the generated world deterministically:
+// two Worlds built from the same Config share a fingerprint, and any
+// analysis over them is byte-identical (generation is seeded; the only
+// nondeterminism, Ed25519 keys, influences no measured quantity). The
+// serving layer uses it as the stable component of snapshot versions,
+// so a rebuilt snapshot of the same world and date keeps its ETag.
+func (w *World) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", w.Config)
+	return fmt.Sprintf("w%016x", h.Sum64())
 }
 
 // rirWeights skews cohorts geographically per §7: large networks mostly

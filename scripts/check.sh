@@ -19,6 +19,11 @@
 #   admin  — end-to-end smoke of the observability endpoint: start a
 #            collector with -admin, curl /healthz and /metrics, and
 #            assert the expected metric families are exposed
+#   manrsd — end-to-end smoke of the query daemon: start it on a small
+#            synthetic world, query a conformance lookup twice (200
+#            then 304 via the captured ETag), assert the coalesce and
+#            cache-hit series appear on /metrics, and SIGTERM-drain
+#            cleanly
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -59,6 +64,7 @@ echo "==> admin endpoint smoke (collector -admin)"
 TMPDIR_SMOKE="$(mktemp -d)"
 cleanup() {
     [ -n "${COLLECTOR_PID:-}" ] && kill "$COLLECTOR_PID" 2>/dev/null || true
+    [ -n "${MANRSD_PID:-}" ] && kill "$MANRSD_PID" 2>/dev/null || true
     rm -rf "$TMPDIR_SMOKE"
 }
 trap cleanup EXIT INT TERM
@@ -109,5 +115,89 @@ done
 kill "$COLLECTOR_PID" 2>/dev/null || true
 wait "$COLLECTOR_PID" 2>/dev/null || true
 COLLECTOR_PID=""
+
+echo "==> query daemon smoke (manrsd)"
+go build -o "$TMPDIR_SMOKE/manrsd" ./cmd/manrsd
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    >"$TMPDIR_SMOKE/manrsd.log" 2>&1 &
+MANRSD_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 300); do
+    SERVE_ADDR="$(sed -n 's|.*serving conformance queries on http://||p' "$TMPDIR_SMOKE/manrsd.log")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$MANRSD_PID" 2>/dev/null || {
+        echo "manrsd smoke: daemon exited early:" >&2
+        cat "$TMPDIR_SMOKE/manrsd.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$SERVE_ADDR" ]; then
+    echo "manrsd smoke: daemon never logged its serving address" >&2
+    cat "$TMPDIR_SMOKE/manrsd.log" >&2
+    exit 1
+fi
+MANRSD_ADMIN="$(sed -n 's|.*admin endpoint on http://||p' "$TMPDIR_SMOKE/manrsd.log")"
+if [ -z "$MANRSD_ADMIN" ]; then
+    echo "manrsd smoke: daemon never logged its admin address" >&2
+    cat "$TMPDIR_SMOKE/manrsd.log" >&2
+    exit 1
+fi
+# First conformance lookup: 200 with a strong ETag.
+CONF_CODE="$(curl -s -D "$TMPDIR_SMOKE/conf.hdr" -o "$TMPDIR_SMOKE/conf.json" \
+    -w '%{http_code}' "http://$SERVE_ADDR/v1/as/100/conformance")"
+if [ "$CONF_CODE" != 200 ]; then
+    echo "manrsd smoke: conformance lookup returned $CONF_CODE, want 200" >&2
+    cat "$TMPDIR_SMOKE/conf.json" >&2
+    exit 1
+fi
+grep -q '"action4"' "$TMPDIR_SMOKE/conf.json" || {
+    echo "manrsd smoke: conformance body missing action4 verdict:" >&2
+    cat "$TMPDIR_SMOKE/conf.json" >&2
+    exit 1
+}
+ETAG="$(tr -d '\r' <"$TMPDIR_SMOKE/conf.hdr" | sed -n 's/^[Ee][Tt]ag: //p')"
+if [ -z "$ETAG" ]; then
+    echo "manrsd smoke: 200 response carried no ETag" >&2
+    cat "$TMPDIR_SMOKE/conf.hdr" >&2
+    exit 1
+fi
+# Second lookup revalidates: 304 via If-None-Match.
+REVAL_CODE="$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "If-None-Match: $ETAG" "http://$SERVE_ADDR/v1/as/100/conformance")"
+if [ "$REVAL_CODE" != 304 ]; then
+    echo "manrsd smoke: If-None-Match revalidation returned $REVAL_CODE, want 304" >&2
+    exit 1
+fi
+# The serving metrics must be exposed on the admin endpoint.
+curl -s -o "$TMPDIR_SMOKE/manrsd.metrics" "http://$MANRSD_ADMIN/metrics"
+for metric in serve_snapshot_builds_total serve_snapshot_coalesced_total \
+    serve_cache_hits_total serve_not_modified_total serve_requests_total; do
+    grep -q "^$metric" "$TMPDIR_SMOKE/manrsd.metrics" || {
+        echo "manrsd smoke: /metrics missing $metric" >&2
+        grep '^# TYPE serve' "$TMPDIR_SMOKE/manrsd.metrics" >&2 || true
+        exit 1
+    }
+done
+CACHE_HITS="$(sed -n 's/^serve_cache_hits_total //p' "$TMPDIR_SMOKE/manrsd.metrics")"
+if [ "${CACHE_HITS:-0}" -lt 1 ]; then
+    echo "manrsd smoke: serve_cache_hits_total = ${CACHE_HITS:-absent}, want >= 1" >&2
+    exit 1
+fi
+# SIGTERM must drain cleanly.
+kill -TERM "$MANRSD_PID"
+MANRSD_STATUS=0
+wait "$MANRSD_PID" || MANRSD_STATUS=$?
+MANRSD_PID=""
+if [ "$MANRSD_STATUS" != 0 ]; then
+    echo "manrsd smoke: daemon exited $MANRSD_STATUS on SIGTERM" >&2
+    cat "$TMPDIR_SMOKE/manrsd.log" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$TMPDIR_SMOKE/manrsd.log" || {
+    echo "manrsd smoke: no clean-drain log line:" >&2
+    cat "$TMPDIR_SMOKE/manrsd.log" >&2
+    exit 1
+}
 
 echo "==> all checks passed"
