@@ -9,6 +9,7 @@ package manrsmeter
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -24,9 +25,11 @@ import (
 	"manrsmeter/internal/bgp/mrt"
 	"manrsmeter/internal/bgp/wire"
 	"manrsmeter/internal/core"
+	"manrsmeter/internal/durable"
 	"manrsmeter/internal/hegemony"
 	"manrsmeter/internal/irr"
 	"manrsmeter/internal/netx"
+	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/rpki"
 	"manrsmeter/internal/rpki/rtr"
@@ -620,6 +623,85 @@ func BenchmarkRTRFetch(b *testing.B) {
 		res, err := rtr.Fetch(addr.String())
 		if err != nil || len(res.VRPs) != len(vrps) {
 			b.Fatalf("fetch: %v", err)
+		}
+	}
+}
+
+// --- Durability benches ---
+
+// benchSnapshotData assembles the durable archive payload for the
+// shared bench world: the real headline dataset plus validation
+// registries derived from its originations — the same shape manrsd
+// persists after every successful build.
+func benchSnapshotData(b *testing.B) *durable.SnapshotData {
+	p := pipeline(b)
+	ds := p.Dataset()
+	auths := make([]rov.Authorization, 0, len(ds.PrefixOrigins))
+	for _, po := range ds.PrefixOrigins {
+		auths = append(auths, rov.Authorization{
+			Prefix:    po.Prefix,
+			ASN:       po.Origin,
+			MaxLength: po.Prefix.Bits(),
+		})
+	}
+	key := durable.Key{Fingerprint: p.World.Fingerprint(), Date: p.AsOf}
+	return &durable.SnapshotData{
+		Fingerprint:   p.World.Fingerprint(),
+		Version:       key.String(),
+		Date:          p.AsOf,
+		PrefixOrigins: ds.PrefixOrigins,
+		Transits:      ds.Transits,
+		Visibility:    ds.Visibility,
+		RPKI:          auths,
+		IRR:           auths,
+	}
+}
+
+// BenchmarkSnapshotPersist measures the durable archive write path —
+// encode, checksum, temp+fsync+rename commit, manifest update, GC —
+// for a full bench-world snapshot. Content alternates between two
+// variants so the identical-content skip never fires and every
+// iteration pays for a real commit.
+func BenchmarkSnapshotPersist(b *testing.B) {
+	base := benchSnapshotData(b)
+	store, err := durable.Open(b.TempDir(), durable.Options{Registry: obsv.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	variants := [2]durable.SnapshotData{*base, *base}
+	variants[1].Version += "+alt"
+	b.SetBytes(int64(len(durable.Encode(base))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Save(ctx, &variants[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad measures warm-start recovery cost per archive:
+// read, checksum-verify, and decode the newest archive for a key —
+// the disk-to-servable latency a restarted manrsd pays per snapshot.
+func BenchmarkSnapshotLoad(b *testing.B) {
+	data := benchSnapshotData(b)
+	store, err := durable.Open(b.TempDir(), durable.Options{Registry: obsv.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := store.Save(ctx, data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(durable.Encode(data))))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := store.Load(ctx, data.Key())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Version != data.Version {
+			b.Fatalf("loaded version %q, want %q", got.Version, data.Version)
 		}
 	}
 }

@@ -9,7 +9,14 @@
 //	manrsd [-seed N] [-scale small|full] [-listen 127.0.0.1:8180]
 //	       [-workers N] [-max-inflight N] [-request-timeout D]
 //	       [-build-timeout D] [-refresh D] [-no-warm] [-drain D]
-//	       [-admin 127.0.0.1:9180]
+//	       [-admin 127.0.0.1:9180] [-data-dir DIR] [-snap-budget BYTES]
+//
+// With -data-dir DIR every successfully built snapshot is archived to
+// DIR (checksummed, written atomically) and a restarted daemon
+// warm-starts from the last known-good archive: the first query is
+// answered from disk in milliseconds while the fresh build proceeds in
+// the background. Corrupt archives are detected by checksum, moved
+// aside, and never served; -snap-budget bounds the directory size.
 //
 // Endpoints (all /v1 routes accept ?date=YYYY-MM-DD and return strong
 // ETags; requests beyond -max-inflight are shed with 503 + Retry-After):
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"manrsmeter"
+	"manrsmeter/internal/durable"
 	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/serve"
 )
@@ -56,6 +64,8 @@ func main() {
 	refresh := flag.Duration("refresh", 0, "background refresh interval for published snapshots (0 = no refresh)")
 	noWarm := flag.Bool("no-warm", false, "skip pre-building the headline snapshot; the first queries coalesce onto the cold build instead")
 	drain := flag.Duration("drain", 5*time.Second, "bound on draining in-flight requests at shutdown; whatever remains is force-closed")
+	dataDir := flag.String("data-dir", "", "directory for durable snapshot archives; restarts warm-start from the last known-good archive (empty = no persistence)")
+	snapBudget := flag.Int64("snap-budget", durable.DefaultMaxBytes, "retention budget in bytes for the -data-dir archive directory")
 	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 
@@ -75,10 +85,24 @@ func main() {
 	log.Printf("generated synthetic Internet: %d ASes, %d MANRS members (%.1fs)",
 		world.Graph.NumASes(), world.MANRS.Len(), time.Since(start).Seconds())
 
+	var dstore *durable.Store
+	if *dataDir != "" {
+		dstore, err = durable.Open(*dataDir, durable.Options{
+			MaxBytes: *snapBudget,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("open snapshot archive: %v", err)
+		}
+		log.Printf("durable snapshot archive at %s (budget %d bytes)", dstore.Dir(), *snapBudget)
+	}
+
 	serveLog := obsv.NewLogger(os.Stderr, obsv.LevelInfo).With("serve")
 	store := serve.NewStore(world, serve.StoreOptions{
 		Workers:      *workers,
 		BuildTimeout: *buildTimeout,
+		Durable:      dstore,
+		Logf:         log.Printf,
 	})
 	srv := serve.NewServer(store, serve.Options{
 		MaxInFlight:    *maxInFlight,
@@ -96,11 +120,26 @@ func main() {
 
 	if !*noWarm {
 		warmStart := time.Now()
-		if _, err := store.Get(ctx, store.DefaultDate()); err != nil {
-			log.Fatalf("warm headline snapshot: %v", err)
+		// Try the durable archive first: a restart serves the last
+		// known-good snapshot immediately and rebuilds in the background.
+		if restored, err := store.WarmStart(ctx); restored > 0 {
+			log.Printf("warm start: %d snapshot(s) restored from archive (%.3fs); fresh rebuild in background",
+				restored, time.Since(warmStart).Seconds())
+			go func() {
+				if err := store.Refresh(ctx, store.DefaultDate()); err != nil && ctx.Err() == nil {
+					log.Printf("background rebuild after warm start: %v", err)
+				}
+			}()
+		} else {
+			if err != nil {
+				log.Printf("warm start from archive failed (%v); falling back to a cold build", err)
+			}
+			if _, err := store.Get(ctx, store.DefaultDate()); err != nil {
+				log.Fatalf("warm headline snapshot: %v", err)
+			}
+			log.Printf("headline snapshot %s published (%.1fs)",
+				store.Version(store.DefaultDate()), time.Since(warmStart).Seconds())
 		}
-		log.Printf("headline snapshot %s published (%.1fs)",
-			store.Version(store.DefaultDate()), time.Since(warmStart).Seconds())
 	}
 
 	addr, err := srv.Listen(*listen)
@@ -132,6 +171,9 @@ func main() {
 	if aerr := adminEP.Shutdown(drainCtx); aerr != nil {
 		log.Printf("shutdown admin: %v", aerr)
 	}
+	// Let an in-flight snapshot archive finish: losing it only costs
+	// the next boot a cold build, but it is cheap to keep.
+	store.WaitPersist()
 	if err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}

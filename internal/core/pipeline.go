@@ -82,6 +82,21 @@ func NewPipelineAtCtx(ctx context.Context, w *synth.World, asOf time.Time, opts 
 	}, nil
 }
 
+// RestorePipeline reconstructs a Pipeline from an already built
+// dataset — the warm-start path of a daemon recovering a persisted
+// snapshot. Per-AS metrics are a cheap deterministic function of the
+// dataset, so they are recomputed rather than persisted; the result is
+// indistinguishable from a pipeline that built the dataset itself.
+func RestorePipeline(w *synth.World, asOf time.Time, workers int, ds *ihr.Dataset) *Pipeline {
+	return &Pipeline{
+		World:   w,
+		AsOf:    asOf,
+		Workers: workers,
+		ds:      ds,
+		metrics: manrs.ComputeMetrics(ds),
+	}
+}
+
 // Dataset exposes the cached IHR dataset at AsOf.
 func (p *Pipeline) Dataset() *ihr.Dataset { return p.ds }
 

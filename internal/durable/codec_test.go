@@ -1,0 +1,121 @@
+package durable
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/astopo"
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rov"
+)
+
+// testSnapshotData builds a small but fully populated archive payload
+// by hand — no world generation, so the durable suite stays fast.
+// variant perturbs the content so distinct payloads get distinct
+// checksums.
+func testSnapshotData(variant int) *SnapshotData {
+	date := time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)
+	p1 := netx.MustParsePrefix("10.0.0.0/8")
+	p2 := netx.MustParsePrefix("192.0.2.0/24")
+	p3 := netx.MustParsePrefix("2001:db8::/32")
+	return &SnapshotData{
+		Fingerprint: "w0123456789abcdef",
+		Version:     "w0123456789abcdef@2022-05-01",
+		Date:        date,
+		PrefixOrigins: []ihr.PrefixOrigin{
+			{Prefix: p1, Origin: 64500, RPKI: rov.Valid, IRR: rov.NotFound},
+			{Prefix: p2, Origin: 64501, RPKI: rov.InvalidASN, IRR: rov.InvalidLength},
+			{Prefix: p3, Origin: uint32(64502 + variant), RPKI: rov.NotFound, IRR: rov.Valid},
+		},
+		Transits: []ihr.TransitRow{
+			{Prefix: p1, Origin: 64500, Transit: 64510, Hegemony: 0.75,
+				RPKI: rov.Valid, IRR: rov.NotFound, FromCustomer: true},
+			{Prefix: p2, Origin: 64501, Transit: 64511, Hegemony: 0.5,
+				RPKI: rov.InvalidASN, IRR: rov.InvalidLength, FromCustomer: false},
+		},
+		Visibility: map[astopo.Origination]int{
+			{Prefix: p1, Origin: 64500}: 7,
+			{Prefix: p2, Origin: 64501}: 3 + variant,
+			{Prefix: p3, Origin: 64502}: 1,
+		},
+		RPKI: []rov.Authorization{
+			{Prefix: p1, ASN: 64500, MaxLength: 24},
+			{Prefix: p3, ASN: 64502, MaxLength: 48},
+		},
+		IRR: []rov.Authorization{
+			{Prefix: p2, ASN: 64501, MaxLength: 24},
+		},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	want := testSnapshotData(0)
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	a, b := Encode(testSnapshotData(0)), Encode(testSnapshotData(0))
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of identical content differ")
+	}
+	if bytes.Equal(a, Encode(testSnapshotData(1))) {
+		t.Fatal("distinct content encoded identically")
+	}
+}
+
+// TestCodecEveryTruncation cuts the archive at every possible length:
+// each must decode to an error, never a panic or a value.
+func TestCodecEveryTruncation(t *testing.T) {
+	full := Encode(testSnapshotData(0))
+	for n := 0; n < len(full); n++ {
+		if _, err := Decode(full[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(full))
+		}
+	}
+}
+
+// TestCodecEveryBitFlip flips one bit in every byte: the checksum
+// footer must reject every single one.
+func TestCodecEveryBitFlip(t *testing.T) {
+	full := Encode(testSnapshotData(0))
+	buf := make([]byte, len(full))
+	for i := range full {
+		copy(buf, full)
+		buf[i] ^= 0x01
+		if _, err := Decode(buf); err == nil {
+			t.Fatalf("bit flip at byte %d decoded without error", i)
+		}
+	}
+}
+
+func TestCodecRejectsVersionSkew(t *testing.T) {
+	full := Encode(testSnapshotData(0))
+	// Patch the format version and fix up the footer so only the
+	// version check can reject it.
+	buf := append([]byte(nil), full...)
+	buf[len(archiveMagic)] = archiveVersion + 1
+	sum := Checksum(buf)
+	for i := 0; i < 8; i++ {
+		buf[len(buf)-8+i] = byte(sum >> (8 * i))
+	}
+	_, err := Decode(buf)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("format")) {
+		t.Fatalf("version skew not rejected: %v", err)
+	}
+}
+
+func TestKeyString(t *testing.T) {
+	d := testSnapshotData(0)
+	if got := d.Key().String(); got != d.Version {
+		t.Fatalf("key %q, want the snapshot version %q", got, d.Version)
+	}
+}

@@ -1,0 +1,309 @@
+// faultfs.go implements deterministic filesystem fault injection, the
+// disk-side sibling of netx's faultnet: the failure modes durable
+// storage actually meets (short writes, ENOSPC, EIO, failed fsync,
+// renames torn by power loss, bit rot on read) plus a precise
+// crash-point mechanism — after the Nth mutating operation the
+// "machine" loses power and every later operation fails, leaving
+// whatever half-written state was on disk for the recovery path to
+// deal with. Production code never constructs a FaultFS; it sits under
+// a Store only in chaos tests.
+
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// Fault classes, used as keys in FaultFS.Counts.
+const (
+	FaultShortWrite = "short-write"
+	FaultWriteEIO   = "write-eio"
+	FaultNoSpace    = "enospc"
+	FaultSyncFail   = "sync-fail"
+	FaultRenameFail = "rename-fail"
+	FaultTornRename = "torn-rename"
+	FaultOpenFail   = "open-fail"
+	FaultReadRot    = "read-rot"
+	FaultCrash      = "crash"
+)
+
+// ErrCrashed marks operations refused because the injected crash point
+// was reached: the simulated machine has lost power.
+var ErrCrashed = errors.New("durable: injected crash (power loss)")
+
+// FaultConfig selects which faults a FaultFS produces and how often.
+// Probabilities are per operation in [0,1]; zero disables the class.
+type FaultConfig struct {
+	// Seed makes the injection schedule reproducible.
+	Seed int64
+	// ShortWrite is the probability a Write persists only a prefix of
+	// its buffer and returns io.ErrShortWrite.
+	ShortWrite float64
+	// WriteEIO and NoSpace are the probabilities a Write fails with
+	// EIO / ENOSPC after persisting nothing.
+	WriteEIO float64
+	NoSpace  float64
+	// SyncFail is the probability an fsync reports failure — the write
+	// may or may not be durable, exactly like a real failed fsync.
+	SyncFail float64
+	// RenameFail is the probability a Rename fails cleanly (source
+	// intact, destination untouched).
+	RenameFail float64
+	// TornRename is the probability a Rename "succeeds" but the
+	// destination materializes with only a prefix of the source bytes —
+	// power loss between the metadata update and the data reaching
+	// disk on a filesystem without ordered data journaling.
+	TornRename float64
+	// OpenFail is the probability an Open fails with EIO.
+	OpenFail float64
+	// ReadRot is the probability one byte of a Read is flipped — bit
+	// rot / a failing sector that still returns data.
+	ReadRot float64
+	// CrashAfterOps, when > 0, injects a hard crash on the Nth mutating
+	// operation (1-based): that operation applies a prefix of its
+	// effect and fails with ErrCrashed, as does every mutating
+	// operation after it. Reads keep working (post-reboot inspection).
+	CrashAfterOps int
+}
+
+// FaultFS wraps an FS with cfg's faults. All methods are safe for
+// concurrent use.
+type FaultFS struct {
+	inner FS
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	counts  map[string]int
+	ops     int
+	crashed bool
+
+	disabled bool
+}
+
+// NewFaultFS returns a fault-injecting wrapper over inner.
+func NewFaultFS(inner FS, cfg FaultConfig) *FaultFS {
+	return &FaultFS{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		counts: make(map[string]int),
+	}
+}
+
+// Disable stops probabilistic injection (the crash point, once hit,
+// stays hit — a dead machine does not recover because the test moved
+// on). Enable resumes it.
+func (f *FaultFS) Disable() { f.mu.Lock(); f.disabled = true; f.mu.Unlock() }
+
+// Enable resumes fault injection after Disable.
+func (f *FaultFS) Enable() { f.mu.Lock(); f.disabled = false; f.mu.Unlock() }
+
+// Crashed reports whether the crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Counts reports how many times each fault class fired, keyed by the
+// Fault* constants. Chaos tests use it to prove every class was hit.
+func (f *FaultFS) Counts() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int, len(f.counts))
+	for k, v := range f.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// hit rolls the dice for one fault class.
+func (f *FaultFS) hit(class string, prob float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prob <= 0 || f.disabled {
+		return false
+	}
+	if f.rng.Float64() >= prob {
+		return false
+	}
+	f.counts[class]++
+	return true
+}
+
+// mutate advances the mutating-op counter and reports whether this
+// operation crashes: either it crosses the configured crash point or
+// the machine already crashed.
+func (f *FaultFS) mutate() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return true
+	}
+	if f.cfg.CrashAfterOps <= 0 {
+		return false
+	}
+	f.ops++
+	if f.ops >= f.cfg.CrashAfterOps {
+		f.crashed = true
+		f.counts[FaultCrash]++
+		return true
+	}
+	return false
+}
+
+func (f *FaultFS) MkdirAll(dir string) error {
+	if f.mutate() {
+		return fmt.Errorf("mkdir %s: %w", dir, ErrCrashed)
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+func (f *FaultFS) Create(name string) (File, error) {
+	if f.mutate() {
+		return nil, fmt.Errorf("create %s: %w", name, ErrCrashed)
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, name: name, inner: inner}, nil
+}
+
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	if f.hit(FaultOpenFail, f.cfg.OpenFail) {
+		return nil, fmt.Errorf("open %s: %w", name, syscall.EIO)
+	}
+	inner, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultReader{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) Rename(oldname, newname string) error {
+	if f.mutate() {
+		return fmt.Errorf("rename %s: %w", oldname, ErrCrashed)
+	}
+	if f.hit(FaultRenameFail, f.cfg.RenameFail) {
+		return fmt.Errorf("rename %s: %w", oldname, syscall.EIO)
+	}
+	if f.hit(FaultTornRename, f.cfg.TornRename) {
+		return f.tearRename(oldname, newname)
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// tearRename moves oldname to newname but drops the tail of the data —
+// the on-disk outcome of power loss between a rename's metadata commit
+// and its data blocks reaching the platter.
+func (f *FaultFS) tearRename(oldname, newname string) error {
+	src, err := f.inner.Open(oldname)
+	if err != nil {
+		return err
+	}
+	data, err := io.ReadAll(src)
+	src.Close()
+	if err != nil {
+		return err
+	}
+	dst, err := f.inner.Create(newname)
+	if err != nil {
+		return err
+	}
+	_, werr := dst.Write(data[:len(data)/2])
+	cerr := dst.Close()
+	_ = f.inner.Remove(oldname)
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if f.mutate() {
+		return fmt.Errorf("remove %s: %w", name, ErrCrashed)
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Stat(name string) (fs.FileInfo, error) { return f.inner.Stat(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if f.mutate() {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrCrashed)
+	}
+	if f.hit(FaultSyncFail, f.cfg.SyncFail) {
+		return fmt.Errorf("syncdir %s: %w", dir, syscall.EIO)
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile injects write-side faults on one open file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	inner File
+}
+
+func (w *faultFile) Write(p []byte) (int, error) {
+	if w.fs.mutate() {
+		// Power loss mid-write: a prefix of the buffer reaches disk.
+		n, _ := w.inner.Write(p[:len(p)/2])
+		return n, fmt.Errorf("write %s: %w", w.name, ErrCrashed)
+	}
+	if w.fs.hit(FaultShortWrite, w.fs.cfg.ShortWrite) {
+		n, err := w.inner.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		return n, io.ErrShortWrite
+	}
+	if w.fs.hit(FaultWriteEIO, w.fs.cfg.WriteEIO) {
+		return 0, fmt.Errorf("write %s: %w", w.name, syscall.EIO)
+	}
+	if w.fs.hit(FaultNoSpace, w.fs.cfg.NoSpace) {
+		return 0, fmt.Errorf("write %s: %w", w.name, syscall.ENOSPC)
+	}
+	return w.inner.Write(p)
+}
+
+func (w *faultFile) Sync() error {
+	if w.fs.mutate() {
+		return fmt.Errorf("sync %s: %w", w.name, ErrCrashed)
+	}
+	if w.fs.hit(FaultSyncFail, w.fs.cfg.SyncFail) {
+		return fmt.Errorf("sync %s: %w", w.name, syscall.EIO)
+	}
+	return w.inner.Sync()
+}
+
+func (w *faultFile) Close() error { return w.inner.Close() }
+
+// faultReader injects bit rot on reads.
+type faultReader struct {
+	fs    *FaultFS
+	inner io.ReadCloser
+}
+
+func (r *faultReader) Read(p []byte) (int, error) {
+	n, err := r.inner.Read(p)
+	if n > 0 && r.fs.hit(FaultReadRot, r.fs.cfg.ReadRot) {
+		r.fs.mu.Lock()
+		i := r.fs.rng.Intn(n)
+		r.fs.mu.Unlock()
+		p[i] ^= 0x40
+	}
+	return n, err
+}
+
+func (r *faultReader) Close() error { return r.inner.Close() }

@@ -1,0 +1,83 @@
+// Package durable is the crash-safe snapshot archive behind the serving
+// layer: serve snapshots are encoded to a compact checksummed binary
+// format (codec.go) and written to disk via temp-file + fsync + atomic
+// rename (store.go), with a manifest that always names the last
+// known-good archive per (world fingerprint, date) key. Corrupt or
+// truncated archives are detected on load (fnv64a footer, bounds-checked
+// decode), quarantined, and skipped in favor of the previous good one,
+// so a daemon restart after a crash — even a crash in the middle of a
+// write — warm-starts from the newest snapshot that survived intact. A
+// retention janitor keeps the archive directory under a size budget.
+//
+// All file I/O goes through the FS interface so chaos tests can inject
+// the failure modes real disks produce (short writes, torn renames,
+// ENOSPC, EIO, failed fsync, bit rot on read) via FaultFS. Production
+// code always runs on OSFS. See DESIGN.md, "Durability & crash
+// recovery".
+package durable
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the writable handle the store uses for archive and manifest
+// writes: a plain writer plus the Sync barrier the durability protocol
+// depends on.
+type File interface {
+	io.Writer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the slice of filesystem the store needs. Paths are passed
+// through verbatim (the store always builds them with filepath.Join
+// under its directory). Implementations: OSFS (production), FaultFS
+// (chaos tests).
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldname, newname string) error
+	Remove(name string) error
+	Stat(name string) (fs.FileInfo, error)
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// SyncDir fsyncs the directory itself, making a preceding rename
+	// durable across power loss.
+	SyncDir(dir string) error
+}
+
+// OSFS is the production FS: a thin veneer over package os.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (OSFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

@@ -1,0 +1,46 @@
+package durable
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecodeArchive feeds the archive decoder arbitrary bytes. The
+// contract: never panic, and anything that decodes without error must
+// be re-encodable to a stable value — a decode that "succeeds" into a
+// snapshot the encoder cannot reproduce would be silent corruption.
+func FuzzDecodeArchive(f *testing.F) {
+	full := Encode(testSnapshotData(0))
+	f.Add(full)
+	f.Add(full[:len(full)/2])
+	f.Add(full[:len(archiveMagic)+2])
+	f.Add([]byte{})
+	f.Add([]byte(archiveMagic))
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/3] ^= 0x10
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatal("nil snapshot with nil error")
+		}
+		reenc := Encode(d)
+		if sum := Checksum(reenc); sum != Checksum(data) && !bytes.Equal(reenc, data) {
+			// Non-canonical but valid inputs may re-encode differently;
+			// the round trip through the canonical form must still be
+			// lossless.
+			d2, err := Decode(reenc)
+			if err != nil {
+				t.Fatalf("re-encode of a decoded snapshot does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(d, d2) {
+				t.Fatal("decode → encode → decode is not a fixed point")
+			}
+		}
+	})
+}

@@ -1,0 +1,247 @@
+package durable
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+func openTest(t *testing.T, dir string, opts Options) (*Store, *obsv.Registry) {
+	t.Helper()
+	if opts.Registry == nil {
+		opts.Registry = obsv.NewRegistry()
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open %s: %v", dir, err)
+	}
+	return s, opts.Registry
+}
+
+func TestStoreSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := openTest(t, dir, Options{})
+	ctx := context.Background()
+	want := testSnapshotData(0)
+	if err := s.Save(ctx, want); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	got, err := s.Load(ctx, want.Key())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("loaded snapshot differs from saved")
+	}
+	if reg.Value("durable_persist_total") != 1 || reg.Value("durable_load_total") != 1 {
+		t.Errorf("persist/load counters = %d/%d, want 1/1",
+			reg.Value("durable_persist_total"), reg.Value("durable_load_total"))
+	}
+
+	// A second store over the same directory (a restarted daemon)
+	// loads the same snapshot via the manifest.
+	s2, _ := openTest(t, dir, Options{})
+	got2, err := s2.Load(ctx, want.Key())
+	if err != nil {
+		t.Fatalf("load after reopen: %v", err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("reopened store loaded different content")
+	}
+}
+
+func TestStoreLoadMissingKey(t *testing.T) {
+	s, _ := openTest(t, t.TempDir(), Options{})
+	_, err := s.Load(context.Background(), Key{Fingerprint: "wdeadbeef00000000", Date: time.Now().UTC()})
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreIdenticalSaveSkipped(t *testing.T) {
+	s, reg := openTest(t, t.TempDir(), Options{})
+	ctx := context.Background()
+	d := testSnapshotData(0)
+	for i := 0; i < 3; i++ {
+		if err := s.Save(ctx, d); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	if got := reg.Value("durable_persist_total"); got != 1 {
+		t.Errorf("durable_persist_total = %d, want 1", got)
+	}
+	if got := reg.Value("durable_persist_skipped_total"); got != 2 {
+		t.Errorf("durable_persist_skipped_total = %d, want 2", got)
+	}
+}
+
+// TestStoreQuarantinesCorruption damages the newest archive on disk
+// and checks Load falls back to the previous good one, quarantining
+// the damaged file and dropping it from the manifest.
+func TestStoreQuarantinesCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := openTest(t, dir, Options{})
+	ctx := context.Background()
+	old, newer := testSnapshotData(0), testSnapshotData(1)
+	if err := s.Save(ctx, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(ctx, newer); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the newest archive.
+	name := archiveName(newer.Key(), Checksum(Encode(newer)))
+	path := filepath.Join(dir, name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.Load(ctx, old.Key())
+	if err != nil {
+		t.Fatalf("load after corruption: %v", err)
+	}
+	if !reflect.DeepEqual(got, old) {
+		t.Fatal("fallback load did not return the previous good archive")
+	}
+	if reg.Value("durable_quarantine_total") != 1 {
+		t.Errorf("durable_quarantine_total = %d, want 1", reg.Value("durable_quarantine_total"))
+	}
+	if _, err := os.Stat(path + quarantineSuffix); err != nil {
+		t.Errorf("damaged archive not quarantined: %v", err)
+	}
+	// The manifest no longer references the damaged file: a reopened
+	// store goes straight to the good archive.
+	s2, reg2 := openTest(t, dir, Options{})
+	if got, err := s2.Load(ctx, old.Key()); err != nil || !reflect.DeepEqual(got, old) {
+		t.Fatalf("reopened load: %v", err)
+	}
+	if reg2.Value("durable_quarantine_total") != 0 {
+		t.Errorf("reopened store re-quarantined: %d", reg2.Value("durable_quarantine_total"))
+	}
+}
+
+// TestStoreManifestCorruptionRescans destroys the manifest and checks
+// Open rebuilds it from the archive files.
+func TestStoreManifestCorruptionRescans(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openTest(t, dir, Options{})
+	ctx := context.Background()
+	d := testSnapshotData(0)
+	if err := s.Save(ctx, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := openTest(t, dir, Options{})
+	got, err := s2.Load(ctx, d.Key())
+	if err != nil {
+		t.Fatalf("load after manifest rebuild: %v", err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Fatal("rebuilt manifest loaded wrong content")
+	}
+}
+
+// TestStoreSweepsTempLeftovers plants a crashed write's temp file and
+// checks Open removes it.
+func TestStoreSweepsTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "snap-2022-05-01-wfeed-0000000000000000.mds.tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	openTest(t, dir, Options{})
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp leftover not swept: %v", err)
+	}
+}
+
+// TestStoreGCPerKeyCap saves many versions of one key and checks only
+// KeepPerKey archives survive, newest retained.
+func TestStoreGCPerKeyCap(t *testing.T) {
+	dir := t.TempDir()
+	s, reg := openTest(t, dir, Options{KeepPerKey: 2})
+	ctx := context.Background()
+	var last *SnapshotData
+	for i := 0; i < 5; i++ {
+		last = testSnapshotData(i)
+		if err := s.Save(ctx, last); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+archiveSuffix))
+	if len(files) != 2 {
+		t.Fatalf("%d archives on disk, want 2 (KeepPerKey)", len(files))
+	}
+	if reg.Value("durable_gc_removed_total") != 3 {
+		t.Errorf("durable_gc_removed_total = %d, want 3", reg.Value("durable_gc_removed_total"))
+	}
+	got, err := s.Load(ctx, last.Key())
+	if err != nil || !reflect.DeepEqual(got, last) {
+		t.Fatalf("newest archive must survive GC: %v", err)
+	}
+}
+
+// TestStoreGCBudget saves archives for several dates under a tiny
+// budget and checks the janitor deletes oldest-first but never the
+// newest archive overall.
+func TestStoreGCBudget(t *testing.T) {
+	dir := t.TempDir()
+	one := Encode(testSnapshotData(0))
+	s, _ := openTest(t, dir, Options{MaxBytes: int64(len(one)) + 10, KeepPerKey: 1})
+	ctx := context.Background()
+	var last *SnapshotData
+	for i := 0; i < 4; i++ {
+		d := testSnapshotData(0)
+		d.Date = d.Date.AddDate(0, 0, i) // distinct key per save
+		d.Version = d.Key().String()
+		if err := s.Save(ctx, d); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		last = d
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*"+archiveSuffix))
+	if len(files) != 1 {
+		t.Fatalf("%d archives on disk, want 1 under budget", len(files))
+	}
+	if !strings.Contains(files[0], last.Date.Format("2006-01-02")) {
+		t.Fatalf("survivor %s is not the newest archive", files[0])
+	}
+	if got, err := s.Load(ctx, last.Key()); err != nil || !reflect.DeepEqual(got, last) {
+		t.Fatalf("newest archive unloadable after GC: %v", err)
+	}
+}
+
+func TestParseArchiveName(t *testing.T) {
+	key := Key{Fingerprint: "w0123456789abcdef", Date: time.Date(2022, 5, 1, 0, 0, 0, 0, time.UTC)}
+	name := archiveName(key, 0xdeadbeefcafef00d)
+	got, sum, ok := parseArchiveName(name)
+	if !ok || got.String() != key.String() || sum != 0xdeadbeefcafef00d {
+		t.Fatalf("parse %q: %v %x %v", name, got, sum, ok)
+	}
+	for _, bad := range []string{
+		"", "snap-.mds", "snap-2022-05-01.mds", "other-2022-05-01-w1-0.mds",
+		"snap-2022-13-99-w1-0000000000000000.mds",
+		"snap-2022-05-01-w0123456789abcdef-zzzz.mds",
+	} {
+		if _, _, ok := parseArchiveName(bad); ok {
+			t.Errorf("parseArchiveName(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+// persist.go bridges the snapshot store to the durable archive layer:
+// converting a built Snapshot to the compact durable.SnapshotData that
+// goes to disk, restoring a loaded archive back into a fully usable
+// Snapshot (recomputing the metrics, aggregates, and indexes that are
+// deterministic functions of the dataset), persisting asynchronously
+// after every successful build, and warm-starting a freshly booted
+// store from the last known-good archives so the first query is a 200
+// instead of a multi-second cold build.
+
+package serve
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"manrsmeter/internal/core"
+	"manrsmeter/internal/durable"
+	"manrsmeter/internal/ihr"
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rov"
+)
+
+// durableKey is the archive slot for a date under this store's world.
+func (s *Store) durableKey(date time.Time) durable.Key {
+	return durable.Key{Fingerprint: s.world.Fingerprint(), Date: date}
+}
+
+// snapshotData extracts the durable subset of snap: the expensive
+// dataset state and the validation registries. Everything else is
+// recomputed at restore time.
+func snapshotData(snap *Snapshot) *durable.SnapshotData {
+	ds := snap.Dataset()
+	return &durable.SnapshotData{
+		Fingerprint:   snap.World.Fingerprint(),
+		Version:       snap.Version,
+		Date:          snap.Date,
+		PrefixOrigins: ds.PrefixOrigins,
+		Transits:      ds.Transits,
+		Visibility:    ds.Visibility,
+		RPKI:          snap.RPKI.All(),
+		IRR:           snap.IRR.All(),
+	}
+}
+
+// restoreSnapshot rebuilds a servable Snapshot from archived data:
+// dataset and registries come from the archive; metrics, the prefix
+// index, and the /v1/stats aggregates are recomputed (deterministic
+// functions of the dataset, cheaper to rebuild than to verify).
+func (s *Store) restoreSnapshot(d *durable.SnapshotData) (*Snapshot, error) {
+	if d.Fingerprint != s.world.Fingerprint() {
+		return nil, fmt.Errorf("serve: archive is for world %s, store runs %s",
+			d.Fingerprint, s.world.Fingerprint())
+	}
+	if want := s.Version(d.Date); d.Version != want {
+		return nil, fmt.Errorf("serve: archive version %q, want %q", d.Version, want)
+	}
+	ds := &ihr.Dataset{
+		PrefixOrigins: d.PrefixOrigins,
+		Transits:      d.Transits,
+		Visibility:    d.Visibility,
+	}
+	rpkiIx, err := indexFrom(d.RPKI)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore RPKI index: %w", err)
+	}
+	irrIx, err := indexFrom(d.IRR)
+	if err != nil {
+		return nil, fmt.Errorf("serve: restore IRR index: %w", err)
+	}
+	snap := &Snapshot{
+		Version:  d.Version,
+		Date:     d.Date,
+		World:    s.world,
+		Pipeline: core.RestorePipeline(s.world, d.Date, s.workers, ds),
+		RPKI:     rpkiIx,
+		IRR:      irrIx,
+		byPrefix: make(map[netx.Prefix][]int),
+	}
+	for i, po := range ds.PrefixOrigins {
+		snap.byPrefix[po.Prefix] = append(snap.byPrefix[po.Prefix], i)
+	}
+	snap.Stats = computeStats(snap)
+	return snap, nil
+}
+
+func indexFrom(auths []rov.Authorization) (*rov.Index, error) {
+	ix := rov.NewIndex()
+	for _, a := range auths {
+		if err := ix.Add(a); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// persistSnapshot archives snap in the durable store. Failures are
+// logged, never propagated: persistence is an availability investment
+// for the next boot, not a serving dependency.
+func (s *Store) persistSnapshot(ctx context.Context, snap *Snapshot) {
+	if err := s.durable.Save(ctx, snapshotData(snap)); err != nil {
+		s.logp("serve: persist snapshot %s: %v", snap.Version, err)
+	}
+}
+
+// WaitPersist blocks until every in-flight background persist has
+// finished — the drain path of a stopping daemon (and of tests that
+// assert on archive contents).
+func (s *Store) WaitPersist() { s.persistWG.Wait() }
+
+// WarmStart publishes snapshots restored from the durable archive for
+// every date the archive holds under this store's world, skipping
+// dates that already have a published snapshot. It returns how many
+// snapshots it published. Queries for those dates are served from the
+// restored snapshots immediately; background refreshes replace them
+// with fresh builds on the usual schedule.
+func (s *Store) WarmStart(ctx context.Context) (int, error) {
+	if s.durable == nil {
+		return 0, nil
+	}
+	fp := s.world.Fingerprint()
+	published := 0
+	var firstErr error
+	for _, key := range s.durable.Keys() {
+		if key.Fingerprint != fp {
+			continue
+		}
+		e := s.entry(key.Date)
+		if e.snap.Load() != nil {
+			continue
+		}
+		d, err := s.durable.Load(ctx, key)
+		if err != nil {
+			s.logp("serve: warm start %s: %v", key, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		snap, err := s.restoreSnapshot(d)
+		if err != nil {
+			s.logp("serve: warm start %s: %v", key, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		e.mu.Lock()
+		if e.snap.Load() == nil {
+			e.snap.Store(snap)
+			published++
+			s.met.warmStarts.Inc()
+			s.logp("serve: warm start: restored snapshot %s from archive", snap.Version)
+		}
+		e.mu.Unlock()
+	}
+	if published > 0 {
+		return published, nil
+	}
+	return 0, firstErr
+}

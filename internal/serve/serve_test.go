@@ -3,11 +3,14 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -172,8 +175,10 @@ func TestShedsAtAdmissionLimit(t *testing.T) {
 			ok++
 		case http.StatusServiceUnavailable:
 			shed++
-			if r.retryAfter != "1" {
-				t.Errorf("503 missing Retry-After: %q", r.retryAfter)
+			// Retry-After scales with shed pressure; any positive
+			// integer number of seconds is well-formed here.
+			if secs, err := strconv.Atoi(r.retryAfter); err != nil || secs < 1 {
+				t.Errorf("503 with malformed Retry-After: %q", r.retryAfter)
 			}
 		default:
 			t.Errorf("unexpected status %d", r.code)
@@ -425,15 +430,19 @@ func TestRequestTimeout(t *testing.T) {
 	}
 }
 
-// TestBuildFailureRetries checks a failed build is not sticky: the next
-// request starts a fresh build instead of serving the old error.
+// TestBuildFailureRetries checks a failed build is not sticky, but is
+// not retried immediately either: requests inside the backoff window
+// get 503 + Retry-After, and once the window passes a fresh build runs.
 func TestBuildFailureRetries(t *testing.T) {
 	reg := obsv.NewRegistry()
 	store := NewStore(testWorld(t), StoreOptions{Registry: reg})
-	fail := true
+	base := time.Now()
+	var offset atomic.Int64 // nanoseconds of fake time elapsed
+	store.nowFn = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	var fail atomic.Bool
+	fail.Store(true)
 	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
-		if fail {
-			fail = false
+		if fail.Load() {
 			return nil, fmt.Errorf("transient build failure")
 		}
 		return &Snapshot{Version: "test@ok", Date: date, Stats: &EcosystemStats{}}, nil
@@ -442,11 +451,149 @@ func TestBuildFailureRetries(t *testing.T) {
 	if rec := get(srv.Handler(), "/v1/stats", nil); rec.Code != http.StatusInternalServerError {
 		t.Fatalf("failed build: got %d, want 500", rec.Code)
 	}
+
+	// Inside the backoff window: refused with 503 + Retry-After, and no
+	// new build runs.
+	rec := get(srv.Handler(), "/v1/stats", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("request inside backoff: got %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if secs, err := strconv.Atoi(rec.Header().Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("backoff 503 with malformed Retry-After: %q", rec.Header().Get("Retry-After"))
+	}
+	if builds := reg.Value("serve_snapshot_builds_total"); builds != 1 {
+		t.Errorf("backoff did not suppress the rebuild: %d builds", builds)
+	}
+	if reg.Value("serve_snapshot_backoff_total") != 1 {
+		t.Errorf("serve_snapshot_backoff_total = %d, want 1", reg.Value("serve_snapshot_backoff_total"))
+	}
+
+	// Past the window (first-failure delay is at most BackoffBase): the
+	// next request triggers a fresh build.
+	fail.Store(false)
+	offset.Add(int64(2 * DefaultBackoffBase))
 	if rec := get(srv.Handler(), "/v1/stats", nil); rec.Code != http.StatusOK {
-		t.Fatalf("retry after failed build: got %d, want 200", rec.Code)
+		t.Fatalf("retry after backoff window: got %d, want 200: %s", rec.Code, rec.Body.String())
 	}
 	if reg.Value("serve_snapshot_build_errors_total") != 1 {
 		t.Errorf("build errors = %d, want 1", reg.Value("serve_snapshot_build_errors_total"))
+	}
+}
+
+// TestBackoffEscalatesAndResets drives the store through consecutive
+// failures on a fake clock: the retry window grows exponentially
+// (within the jitter envelope), surfaces in Status(), and collapses to
+// zero on the first successful build.
+func TestBackoffEscalatesAndResets(t *testing.T) {
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{
+		Registry:    reg,
+		BackoffBase: time.Second,
+		BackoffMax:  time.Minute,
+	})
+	base := time.Now()
+	var offset atomic.Int64
+	store.nowFn = func() time.Time { return base.Add(time.Duration(offset.Load())) }
+	var fail atomic.Bool
+	fail.Store(true)
+	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
+		if fail.Load() {
+			return nil, fmt.Errorf("injected failure")
+		}
+		return &Snapshot{Version: "test@ok", Date: date, Stats: &EcosystemStats{}}, nil
+	}
+	ctx := context.Background()
+	date := store.DefaultDate()
+
+	for n := 1; n <= 4; n++ {
+		if err := store.Refresh(ctx, date); err == nil {
+			t.Fatalf("failure %d: build unexpectedly succeeded", n)
+		}
+		var be *BackoffError
+		if err := store.Refresh(ctx, date); !errors.As(err, &be) {
+			t.Fatalf("failure %d: got %v, want BackoffError", n, err)
+		}
+		if be.Failures != n {
+			t.Errorf("failure count %d, want %d", be.Failures, n)
+		}
+		// Equal jitter: the nth delay is in [base·2^(n-1)/2, base·2^(n-1)].
+		wait := be.Until.Sub(store.nowFn())
+		lo, hi := time.Second<<(n-1)/2, time.Second<<(n-1)
+		if wait <= 0 || wait > hi {
+			t.Errorf("failure %d: retry window %v outside (0, %v]", n, wait, hi)
+		}
+		if n > 1 && wait < lo/2 {
+			t.Errorf("failure %d: retry window %v suspiciously short of %v", n, wait, lo)
+		}
+		offset.Add(int64(hi) + int64(time.Millisecond))
+	}
+
+	status := store.Status()
+	key := "snapshot." + date.Format("2006-01-02") + ".backoff"
+	if !strings.Contains(status[key], "4 consecutive") {
+		t.Errorf("status[%s] = %q, want the failure count surfaced", key, status[key])
+	}
+
+	fail.Store(false)
+	if err := store.Refresh(ctx, date); err != nil {
+		t.Fatalf("recovery build: %v", err)
+	}
+	if _, ok := store.Status()[key]; ok {
+		t.Error("backoff status survived a successful build")
+	}
+	if err := store.Refresh(ctx, date); err != nil {
+		t.Fatalf("refresh after recovery hit stale backoff: %v", err)
+	}
+}
+
+// TestRetryAfterScalesWithPressure pins the load-shed Retry-After to
+// the shed streak: with one admission slot held by a blocked build,
+// consecutive sheds advise progressively longer waits, and a
+// successful admission resets the streak.
+func TestRetryAfterScalesWithPressure(t *testing.T) {
+	reg := obsv.NewRegistry()
+	store := NewStore(testWorld(t), StoreOptions{Registry: reg})
+	release := make(chan struct{})
+	store.buildFn = func(ctx context.Context, date time.Time) (*Snapshot, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return &Snapshot{Version: "test@slow", Date: date, Stats: &EcosystemStats{}}, nil
+	}
+	srv := NewServer(store, Options{MaxInFlight: 1, Registry: reg})
+	h := srv.Handler()
+
+	holder := make(chan int)
+	go func() { holder <- get(h, "/v1/stats", nil).Code }()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Value("serve_inflight_requests") < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never occupied the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for i, want := range []string{"1", "2", "3"} {
+		rec := get(h, "/v1/stats", nil)
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("shed %d: got %d, want 503", i, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != want {
+			t.Errorf("shed %d: Retry-After %q, want %q", i, got, want)
+		}
+	}
+
+	close(release)
+	if code := <-holder; code != http.StatusOK {
+		t.Fatalf("held request finished with %d", code)
+	}
+	if rec := get(h, "/v1/stats", nil); rec.Code != http.StatusOK {
+		t.Fatalf("request after release: %d", rec.Code)
+	}
+	if got := srv.shedStreak.Load(); got != 0 {
+		t.Errorf("shed streak %d after successful admission, want 0", got)
 	}
 }
 

@@ -15,8 +15,10 @@ import (
 	"hash/fnv"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"manrsmeter/internal/core"
@@ -61,6 +63,9 @@ type Server struct {
 	store *Store
 	opts  Options
 	sem   chan struct{}
+	// shedStreak counts consecutive sheds since the last successful
+	// admission — the pressure signal behind Retry-After scaling.
+	shedStreak atomic.Int64
 
 	cacheMu    sync.Mutex
 	cache      map[string]cachedResponse
@@ -193,11 +198,12 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		// back off and retry.
 		select {
 		case s.sem <- struct{}{}:
+			s.shedStreak.Store(0)
 		default:
 			s.met.shed.Inc()
 			requests(http.StatusServiceUnavailable).Inc()
 			span.SetAttr("shed", true)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			s.writeError(w, http.StatusServiceUnavailable, "overloaded: admission limit reached, retry later")
 			return
 		}
@@ -233,6 +239,15 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		snap, err := s.store.Get(ctx, date)
 		if err != nil {
 			code := errorCode(ctx, err)
+			var be *BackoffError
+			if errors.As(err, &be) {
+				// Tell clients exactly when a rebuild becomes possible.
+				secs := int(time.Until(be.Until).Seconds()) + 1
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+			}
 			requests(code).Inc()
 			s.logf("serve: %s %s: snapshot: %v", r.Method, r.URL.Path, err)
 			s.writeError(w, code, err.Error())
@@ -337,11 +352,28 @@ func (s *Server) cachePut(key string, resp cachedResponse) {
 	s.cacheOrder = append(s.cacheOrder, key)
 }
 
+// retryAfter scales the shed Retry-After with pressure: one second at
+// the first shed, one more for every MaxInFlight consecutive sheds —
+// the deeper the overload, the longer well-behaved clients stay away —
+// capped at a minute so a transient spike cannot park clients forever.
+func (s *Server) retryAfter() int {
+	streak := s.shedStreak.Add(1)
+	secs := 1 + int(streak-1)/s.opts.MaxInFlight
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // errorCode maps a handler error to its HTTP status.
 func errorCode(ctx context.Context, err error) int {
 	var he *httpError
 	if errors.As(err, &he) {
 		return he.code
+	}
+	var be *BackoffError
+	if errors.As(err, &be) {
+		return http.StatusServiceUnavailable
 	}
 	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return http.StatusGatewayTimeout

@@ -12,12 +12,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"manrsmeter/internal/core"
+	"manrsmeter/internal/durable"
 	"manrsmeter/internal/ihr"
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/obsv"
@@ -75,6 +77,17 @@ type Store struct {
 	// buildFn builds the snapshot for a date. Tests swap it to inject
 	// slow or failing builds; the default is buildSnapshot.
 	buildFn func(ctx context.Context, date time.Time) (*Snapshot, error)
+	// nowFn is the clock; tests swap it to drive the backoff schedule.
+	nowFn func() time.Time
+
+	// durable, when non-nil, receives every successfully built snapshot
+	// (asynchronously) and answers WarmStart at boot.
+	durable   *durable.Store
+	persistWG sync.WaitGroup
+
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	logf        func(format string, args ...any)
 
 	mu      sync.Mutex
 	entries map[int64]*storeEntry
@@ -89,6 +102,11 @@ type storeEntry struct {
 
 	mu       sync.Mutex
 	building *buildCall
+	// failures counts consecutive build failures; retryAt is when the
+	// next build attempt is allowed (exponential backoff with jitter).
+	failures int
+	retryAt  time.Time
+	lastErr  error
 }
 
 // buildCall is one in-flight build that any number of requests await.
@@ -104,6 +122,8 @@ type storeMetrics struct {
 	coalesced    *obsv.Counter
 	hits         *obsv.Counter
 	refreshes    *obsv.Counter
+	backoffs     *obsv.Counter
+	warmStarts   *obsv.Counter
 	buildSeconds *obsv.Histogram
 }
 
@@ -116,7 +136,26 @@ type StoreOptions struct {
 	BuildTimeout time.Duration
 	// Registry receives the store's metrics; nil means obsv.Default().
 	Registry *obsv.Registry
+	// Durable, when non-nil, archives every successful build and
+	// answers WarmStart at boot.
+	Durable *durable.Store
+	// BackoffBase and BackoffMax shape the retry schedule after failed
+	// builds: the Nth consecutive failure blocks new attempts for
+	// roughly Base·2^(N-1), jittered, capped at Max. Zero means
+	// DefaultBackoffBase / DefaultBackoffMax.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Logf, when set, receives operational events (persist failures,
+	// warm starts, build backoff).
+	Logf func(format string, args ...any)
 }
+
+// Backoff defaults: the first failed build blocks retries for about a
+// second; repeated failures double the wait up to two minutes.
+const (
+	DefaultBackoffBase = time.Second
+	DefaultBackoffMax  = 2 * time.Minute
+)
 
 // NewStore returns a Store over w. The world is shared and read-only:
 // builds use the immutable snapshot views, so any number of stores (or
@@ -130,6 +169,11 @@ func NewStore(w *synth.World, opts StoreOptions) *Store {
 		world:        w,
 		workers:      opts.Workers,
 		buildTimeout: opts.BuildTimeout,
+		nowFn:        time.Now,
+		durable:      opts.Durable,
+		backoffBase:  opts.BackoffBase,
+		backoffMax:   opts.BackoffMax,
+		logf:         opts.Logf,
 		entries:      make(map[int64]*storeEntry),
 		met: storeMetrics{
 			builds:       reg.Counter("serve_snapshot_builds_total", "snapshot builds started"),
@@ -137,11 +181,25 @@ func NewStore(w *synth.World, opts StoreOptions) *Store {
 			coalesced:    reg.Counter("serve_snapshot_coalesced_total", "requests that joined an in-flight snapshot build"),
 			hits:         reg.Counter("serve_snapshot_hits_total", "requests answered from a published snapshot"),
 			refreshes:    reg.Counter("serve_snapshot_refresh_total", "background snapshot refreshes"),
+			backoffs:     reg.Counter("serve_snapshot_backoff_total", "requests refused because the date key is in build backoff"),
+			warmStarts:   reg.Counter("serve_snapshot_warm_starts_total", "snapshots published from the durable archive at boot"),
 			buildSeconds: reg.Histogram("serve_snapshot_build_seconds", "snapshot build latency", nil),
 		},
 	}
+	if s.backoffBase <= 0 {
+		s.backoffBase = DefaultBackoffBase
+	}
+	if s.backoffMax <= 0 {
+		s.backoffMax = DefaultBackoffMax
+	}
 	s.buildFn = s.buildSnapshot
 	return s
+}
+
+func (s *Store) logp(format string, args ...any) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
 }
 
 // DefaultDate is the headline measurement date (May 1 of the world's
@@ -192,6 +250,11 @@ func (s *Store) Get(ctx context.Context, date time.Time) (*Snapshot, error) {
 			span.SetAttr("source", "published")
 			return snap, nil
 		}
+		if err := s.backoffLocked(e); err != nil {
+			e.mu.Unlock()
+			span.SetAttr("source", "backoff")
+			return nil, err
+		}
 		call = &buildCall{done: make(chan struct{})}
 		e.building = call
 		s.startBuild(ctx, e, call)
@@ -220,6 +283,10 @@ func (s *Store) Refresh(ctx context.Context, date time.Time) error {
 	e.mu.Lock()
 	call := e.building
 	if call == nil {
+		if err := s.backoffLocked(e); err != nil {
+			e.mu.Unlock()
+			return err
+		}
 		call = &buildCall{done: make(chan struct{})}
 		e.building = call
 		s.startBuild(ctx, e, call)
@@ -236,9 +303,56 @@ func (s *Store) Refresh(ctx context.Context, date time.Time) error {
 	}
 }
 
+// BackoffError reports that builds for a date key are suspended after
+// consecutive failures. The serving layer maps it to 503 with a
+// Retry-After derived from Until.
+type BackoffError struct {
+	// Until is when the next build attempt is allowed.
+	Until time.Time
+	// Failures is the consecutive-failure count that produced the wait.
+	Failures int
+	// Err is the last build failure.
+	Err error
+}
+
+func (e *BackoffError) Error() string {
+	return fmt.Sprintf("snapshot build suspended until %s after %d failed builds: %v",
+		e.Until.Format(time.RFC3339), e.Failures, e.Err)
+}
+
+func (e *BackoffError) Unwrap() error { return e.Err }
+
+// backoffLocked (e.mu held) refuses to start a build while the entry's
+// retry window is open, returning the BackoffError callers surface.
+func (s *Store) backoffLocked(e *storeEntry) error {
+	if e.failures == 0 || !s.nowFn().Before(e.retryAt) {
+		return nil
+	}
+	s.met.backoffs.Inc()
+	return &BackoffError{Until: e.retryAt, Failures: e.failures, Err: e.lastErr}
+}
+
+// backoffDelay is the wait after the nth consecutive failure (n ≥ 1):
+// base·2^(n-1) capped at max, with equal jitter — half the window is
+// fixed, half uniform random — so a fleet of clients whose builds all
+// broke at once does not retry in lockstep.
+func (s *Store) backoffDelay(n int) time.Duration {
+	d := s.backoffBase
+	for i := 1; i < n && d < s.backoffMax; i++ {
+		d *= 2
+	}
+	if d > s.backoffMax {
+		d = s.backoffMax
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
 // startBuild launches the build goroutine for call. The build runs on
 // a context detached from the requester (inheriting only its tracer)
 // so request cancellation cannot abort a build other waiters share.
+// Successful builds publish atomically and archive to the durable
+// store in the background; failures arm the entry's retry backoff.
 func (s *Store) startBuild(ctx context.Context, e *storeEntry, call *buildCall) {
 	s.met.builds.Inc()
 	bctx := obsv.ContextWithTracer(context.Background(), obsv.TracerFrom(ctx))
@@ -257,10 +371,33 @@ func (s *Store) startBuild(ctx context.Context, e *storeEntry, call *buildCall) 
 		call.snap, call.err = snap, err
 		e.mu.Lock()
 		if err == nil {
+			if s.durable != nil {
+				// Registered before the publish is visible, so a caller
+				// that saw the snapshot and calls WaitPersist observes
+				// this persist.
+				s.persistWG.Add(1)
+			}
 			e.snap.Store(snap) // atomic publish; readers never block
+			e.failures, e.retryAt, e.lastErr = 0, time.Time{}, nil
+		} else {
+			e.failures++
+			delay := s.backoffDelay(e.failures)
+			e.retryAt = s.nowFn().Add(delay)
+			e.lastErr = err
+			s.logp("serve: snapshot build %s failed (%d consecutive): %v; next attempt in %s",
+				e.date.Format("2006-01-02"), e.failures, err, delay.Round(time.Millisecond))
 		}
 		e.building = nil // a later request may retry a failed build
 		e.mu.Unlock()
+		if err == nil && s.durable != nil {
+			// Detached from the build timeout: a slow disk must not be
+			// cut off by a deadline meant for the build.
+			pctx := obsv.ContextWithTracer(context.Background(), obsv.TracerFrom(bctx))
+			go func() {
+				defer s.persistWG.Done()
+				s.persistSnapshot(pctx, snap)
+			}()
+		}
 		close(call.done)
 	}()
 }
@@ -312,7 +449,19 @@ func (s *Store) Status() map[string]string {
 		if snap := e.snap.Load(); snap != nil {
 			state = snap.Version
 		}
-		out["snapshot."+e.date.Format("2006-01-02")] = state
+		key := "snapshot." + e.date.Format("2006-01-02")
+		out[key] = state
+		e.mu.Lock()
+		if e.failures > 0 {
+			out[key+".backoff"] = fmt.Sprintf("%d consecutive build failures, next attempt %s",
+				e.failures, e.retryAt.UTC().Format(time.RFC3339))
+		}
+		e.mu.Unlock()
+	}
+	if s.durable != nil {
+		for k, v := range s.durable.Status() {
+			out[k] = v
+		}
 	}
 	return out
 }

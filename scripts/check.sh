@@ -11,11 +11,14 @@
 #            the section-timeout chaos test (every report section
 #            stalled past its watchdog) and the parallel-pool
 #            goroutine-leak test
-#   bench  — single-iteration smoke of the dataset-build benchmarks,
-#            so the parallel build paths stay exercised pre-merge
-#   fuzz   — short smoke of the BGP wire-format and MRT-reader fuzzers,
-#            so decoder regressions on malformed input surface before
-#            merge
+#   bench  — single-iteration smoke of the headline benchmarks (dataset
+#            build, propagation, full report, serving hot path, snapshot
+#            persist/load), emitting one BENCH_<name>.json per result in
+#            the repo root so perf regressions can be diffed across
+#            commits
+#   fuzz   — short smoke of the BGP wire-format, MRT-reader, and durable
+#            archive-decoder fuzzers, so decoder regressions on
+#            malformed input surface before merge
 #   admin  — end-to-end smoke of the observability endpoint: start a
 #            collector with -admin, curl /healthz and /metrics, and
 #            assert the expected metric families are exposed
@@ -24,9 +27,22 @@
 #            then 304 via the captured ETag), assert the coalesce and
 #            cache-hit series appear on /metrics, and SIGTERM-drain
 #            cleanly
+#   crash  — crash-recovery smoke: run manrsd with -data-dir until it
+#            archives a snapshot, SIGKILL it, restart over the same
+#            directory, and assert the daemon warm-starts from the
+#            archive (first query 200, durable_load_total >= 1) before
+#            draining cleanly
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
+
+TMPDIR_SMOKE="$(mktemp -d)"
+cleanup() {
+    [ -n "${COLLECTOR_PID:-}" ] && kill "$COLLECTOR_PID" 2>/dev/null || true
+    [ -n "${MANRSD_PID:-}" ] && kill "$MANRSD_PID" 2>/dev/null || true
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT INT TERM
 
 echo "==> gofmt -l ."
 UNFORMATTED="$(gofmt -l .)"
@@ -52,22 +68,46 @@ echo "==> section-timeout chaos + goroutine-leak gates (-race)"
 go test -race -count=1 -run '^TestRunReportSectionTimeoutChaos$|^TestRunReportCancelDrains$' .
 go test -race -count=1 -run '^TestForEachCtxNoGoroutineLeak$' ./internal/parallel
 
-echo "==> bench smoke (1 iteration per dataset-build bench)"
-go test -run '^$' -bench 'BuildDataset|DatasetBuild' -benchtime 1x .
+echo "==> bench smoke (1 iteration per headline bench) + BENCH_*.json emit"
+go test -run '^$' -benchtime 1x -benchmem \
+    -bench '^(BenchmarkDatasetBuild|BenchmarkBuildDatasetParallel|BenchmarkPropagation|BenchmarkFullReport|BenchmarkServeConformance|BenchmarkSnapshotPersist|BenchmarkSnapshotLoad)$' \
+    . | tee "$TMPDIR_SMOKE/bench.out"
+BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+BENCH_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+awk -v date="$BENCH_DATE" -v commit="$BENCH_COMMIT" -v gover="$(go env GOVERSION)" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
+    ns = $3; bytes = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($i == "B/op") bytes = $(i - 1)
+        if ($i == "allocs/op") allocs = $(i - 1)
+    }
+    file = name
+    sub(/^Benchmark/, "", file)
+    gsub(/[^A-Za-z0-9_]/, "_", file)    # sub-bench slashes, workers=N
+    out = "BENCH_" file ".json"
+    printf "{\n  \"name\": \"%s\",\n  \"ns_per_op\": %s,\n  \"bytes_per_op\": %s,\n  \"allocs_per_op\": %s,\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"go\": \"%s\"\n}\n", \
+        name, ns, bytes, allocs, date, commit, gover > out
+    close(out)
+    emitted++
+}
+END {
+    if (emitted == 0) { print "bench emit: no benchmark result lines parsed" > "/dev/stderr"; exit 1 }
+    printf "emitted %d BENCH_*.json files\n", emitted
+}
+' "$TMPDIR_SMOKE/bench.out"
+for f in BENCH_DatasetBuild.json BENCH_SnapshotPersist.json BENCH_SnapshotLoad.json; do
+    [ -f "$f" ] || { echo "bench emit: $f missing" >&2; exit 1; }
+done
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
 go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzDecodeAttributes$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzReadAll$' -fuzztime "$FUZZTIME" ./internal/bgp/mrt
+go test -run '^$' -fuzz '^FuzzDecodeArchive$' -fuzztime "$FUZZTIME" ./internal/durable
 
 echo "==> admin endpoint smoke (collector -admin)"
-TMPDIR_SMOKE="$(mktemp -d)"
-cleanup() {
-    [ -n "${COLLECTOR_PID:-}" ] && kill "$COLLECTOR_PID" 2>/dev/null || true
-    [ -n "${MANRSD_PID:-}" ] && kill "$MANRSD_PID" 2>/dev/null || true
-    rm -rf "$TMPDIR_SMOKE"
-}
-trap cleanup EXIT INT TERM
 go build -o "$TMPDIR_SMOKE/collector" ./cmd/collector
 "$TMPDIR_SMOKE/collector" -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
     -out "$TMPDIR_SMOKE/rib.mrt" >"$TMPDIR_SMOKE/collector.log" 2>&1 &
@@ -197,6 +237,85 @@ fi
 grep -q 'drained cleanly' "$TMPDIR_SMOKE/manrsd.log" || {
     echo "manrsd smoke: no clean-drain log line:" >&2
     cat "$TMPDIR_SMOKE/manrsd.log" >&2
+    exit 1
+}
+
+echo "==> crash recovery smoke (manrsd -data-dir, SIGKILL, warm restart)"
+SNAPDIR="$TMPDIR_SMOKE/snapdir"
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -data-dir "$SNAPDIR" >"$TMPDIR_SMOKE/crash1.log" 2>&1 &
+MANRSD_PID=$!
+# Wait for the snapshot to be archived: from that point the commit is
+# durable and a SIGKILL must not lose it.
+ARCHIVED=""
+for _ in $(seq 1 600); do
+    grep -q 'archived snapshot' "$TMPDIR_SMOKE/crash1.log" && { ARCHIVED=1; break; }
+    kill -0 "$MANRSD_PID" 2>/dev/null || {
+        echo "crash smoke: daemon exited before archiving:" >&2
+        cat "$TMPDIR_SMOKE/crash1.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$ARCHIVED" ]; then
+    echo "crash smoke: daemon never archived a snapshot" >&2
+    cat "$TMPDIR_SMOKE/crash1.log" >&2
+    exit 1
+fi
+kill -9 "$MANRSD_PID" 2>/dev/null || true
+wait "$MANRSD_PID" 2>/dev/null || true
+MANRSD_PID=""
+# Restart over the same directory: must warm-start from the archive.
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -data-dir "$SNAPDIR" >"$TMPDIR_SMOKE/crash2.log" 2>&1 &
+MANRSD_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 600); do
+    SERVE_ADDR="$(sed -n 's|.*serving conformance queries on http://||p' "$TMPDIR_SMOKE/crash2.log")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$MANRSD_PID" 2>/dev/null || {
+        echo "crash smoke: restarted daemon exited early:" >&2
+        cat "$TMPDIR_SMOKE/crash2.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$SERVE_ADDR" ]; then
+    echo "crash smoke: restarted daemon never logged its serving address" >&2
+    cat "$TMPDIR_SMOKE/crash2.log" >&2
+    exit 1
+fi
+grep -q 'snapshot(s) restored from archive' "$TMPDIR_SMOKE/crash2.log" || {
+    echo "crash smoke: restart did not warm-start from the archive:" >&2
+    cat "$TMPDIR_SMOKE/crash2.log" >&2
+    exit 1
+}
+WARM_CODE="$(curl -s -o "$TMPDIR_SMOKE/crash-stats.json" -w '%{http_code}' "http://$SERVE_ADDR/v1/stats")"
+if [ "$WARM_CODE" != 200 ]; then
+    echo "crash smoke: first query after warm restart returned $WARM_CODE, want 200" >&2
+    cat "$TMPDIR_SMOKE/crash-stats.json" >&2
+    exit 1
+fi
+MANRSD_ADMIN="$(sed -n 's|.*admin endpoint on http://||p' "$TMPDIR_SMOKE/crash2.log")"
+curl -s -o "$TMPDIR_SMOKE/crash.metrics" "http://$MANRSD_ADMIN/metrics"
+DURABLE_LOADS="$(sed -n 's/^durable_load_total //p' "$TMPDIR_SMOKE/crash.metrics")"
+if [ "${DURABLE_LOADS:-0}" -lt 1 ]; then
+    echo "crash smoke: durable_load_total = ${DURABLE_LOADS:-absent}, want >= 1" >&2
+    grep '^durable' "$TMPDIR_SMOKE/crash.metrics" >&2 || true
+    exit 1
+fi
+kill -TERM "$MANRSD_PID"
+CRASH_STATUS=0
+wait "$MANRSD_PID" || CRASH_STATUS=$?
+MANRSD_PID=""
+if [ "$CRASH_STATUS" != 0 ]; then
+    echo "crash smoke: restarted daemon exited $CRASH_STATUS on SIGTERM" >&2
+    cat "$TMPDIR_SMOKE/crash2.log" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$TMPDIR_SMOKE/crash2.log" || {
+    echo "crash smoke: no clean-drain log line after warm restart:" >&2
+    cat "$TMPDIR_SMOKE/crash2.log" >&2
     exit 1
 }
 
