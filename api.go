@@ -138,6 +138,13 @@ type (
 // May 2022 measurements.
 func DefaultConfig(seed int64) Config { return synth.NewConfig(seed) }
 
+// LargeConfig returns the internet-scale preset: ~75k ASes announcing
+// ~1M prefixes, generated through the compact arena layout (one flat
+// prefix slice with per-AS index ranges, aggregate ROAs, compact IRR
+// objects). Cohort behavioral rates match DefaultConfig, so the paper's
+// findings reproduce at scale.
+func LargeConfig(seed int64) Config { return synth.NewLargeConfig(seed) }
+
 // GenerateWorld builds a synthetic Internet from cfg.
 func GenerateWorld(cfg Config) (*World, error) { return synth.Generate(cfg) }
 

@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/netip"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
@@ -41,7 +42,29 @@ var (
 	benchOnce sync.Once
 	benchPipe *core.Pipeline
 	benchErr  error
+
+	largeOnce sync.Once
+	largeWrld *synth.World
+	largeErr  error
 )
+
+// largeWorld returns the shared internet-scale world (~75k ASes, ~1M
+// prefixes, synth.NewLargeConfig). Its benches are opt-in via
+// MANRS_LARGE=1: generation plus a serial dataset build runs for minutes
+// on one core, far beyond the default bench smoke budget.
+func largeWorld(b *testing.B) *synth.World {
+	b.Helper()
+	if os.Getenv("MANRS_LARGE") == "" {
+		b.Skip("set MANRS_LARGE=1 to run internet-scale benchmarks")
+	}
+	largeOnce.Do(func() {
+		largeWrld, largeErr = synth.Generate(synth.NewLargeConfig(1))
+	})
+	if largeErr != nil {
+		b.Fatal(largeErr)
+	}
+	return largeWrld
+}
 
 // benchConfig is the shared bench world: big enough that every cohort is
 // populated, small enough that go test -bench runs in minutes.
@@ -240,19 +263,33 @@ func BenchmarkGenerateWorld(b *testing.B) {
 }
 
 func BenchmarkDatasetBuild(b *testing.B) {
-	world, err := synth.Generate(benchConfig(3))
-	if err != nil {
-		b.Fatal(err)
-	}
-	asOf := world.Date(world.Config.EndYear)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		// BuildDatasetAt bypasses the DatasetAt memoization cache, so every
-		// iteration measures a full serial build.
-		if _, err := world.BuildDatasetAt(asOf, 1); err != nil {
+	// BuildDatasetAt bypasses the DatasetAt memoization cache, so every
+	// iteration measures a full serial build. bytes/op and allocs/op are
+	// the tracked numbers: the compact layout's budget lives in check.sh's
+	// memory gate.
+	b.Run("seed", func(b *testing.B) {
+		world, err := synth.Generate(benchConfig(3))
+		if err != nil {
 			b.Fatal(err)
 		}
-	}
+		asOf := world.Date(world.Config.EndYear)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := world.BuildDatasetAt(asOf, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("large", func(b *testing.B) {
+		world := largeWorld(b)
+		asOf := world.Date(world.Config.EndYear)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := world.BuildDatasetAt(asOf, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkBuildDatasetParallel measures the same full build across
@@ -427,6 +464,19 @@ func BenchmarkPropagation(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			og := origins[i%len(origins)]
 			g.Propagate(og.Prefix, og.Origin, filter)
+		}
+	})
+	b.Run("large", func(b *testing.B) {
+		lw := largeWorld(b)
+		lg := lw.Graph
+		lo := lg.Originations()
+		if len(lo) == 0 {
+			b.Fatal("no originations")
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			og := lo[i%len(lo)]
+			lg.Propagate(og.Prefix, og.Origin, nil)
 		}
 	})
 }

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	manrsd [-seed N] [-scale small|full] [-listen 127.0.0.1:8180]
+//	manrsd [-seed N] [-scale small|full|large] [-listen 127.0.0.1:8180]
 //	       [-workers N] [-max-inflight N] [-request-timeout D]
 //	       [-build-timeout D] [-refresh D] [-no-warm] [-drain D]
 //	       [-admin 127.0.0.1:9180] [-data-dir DIR] [-snap-budget BYTES]
@@ -55,7 +55,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("manrsd: ")
 	seed := flag.Int64("seed", 1, "generator seed")
-	scale := flag.String("scale", "full", "world scale: small | full")
+	scale := flag.String("scale", "full", "world scale: small | full | large (internet-scale, ~75k ASes / ~1M prefixes)")
 	listen := flag.String("listen", "127.0.0.1:8180", "listen address for the query API")
 	workers := flag.Int("workers", 0, "worker goroutines per snapshot build (0 = one per CPU)")
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight, "admission limit on concurrently served requests; arrivals beyond it are shed with 503")
@@ -70,11 +70,15 @@ func main() {
 	flag.Parse()
 
 	cfg := manrsmeter.DefaultConfig(*seed)
-	if *scale == "small" {
+	switch *scale {
+	case "small", "seed":
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
 		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
-	} else if *scale != "full" {
-		log.Fatalf("unknown -scale %q (want small or full)", *scale)
+	case "full":
+	case "large":
+		cfg = manrsmeter.LargeConfig(*seed)
+	default:
+		log.Fatalf("unknown -scale %q (want small, full, or large)", *scale)
 	}
 
 	start := time.Now()

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	synthgen [-seed N] [-scale small|full] -out DIR
+//	synthgen [-seed N] [-scale small|full|large] -out DIR
 package main
 
 import (
@@ -31,16 +31,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("synthgen: ")
 	seed := flag.Int64("seed", 1, "generator seed")
-	scale := flag.String("scale", "small", "world scale: small | full")
+	scale := flag.String("scale", "small", "world scale: small | full | large (internet-scale, ~75k ASes / ~1M prefixes)")
 	out := flag.String("out", "synth-data", "output directory")
 	flag.Parse()
 
 	cfg := manrsmeter.DefaultConfig(*seed)
-	if *scale == "small" {
+	switch *scale {
+	case "small", "seed":
 		cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 60, 700, 8
 		cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 70, 20, 3, 4
-	} else if *scale != "full" {
-		log.Fatalf("unknown -scale %q", *scale)
+	case "full":
+	case "large":
+		cfg = manrsmeter.LargeConfig(*seed)
+	default:
+		log.Fatalf("unknown -scale %q (want small, full, or large)", *scale)
 	}
 	world, err := synth.Generate(cfg)
 	if err != nil {

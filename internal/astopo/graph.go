@@ -62,10 +62,10 @@ type Org struct {
 type Graph struct {
 	ases map[uint32]*AS
 	orgs map[string]*Org
-	// adjMu guards adj: the dense adjacency used by Propagate, built
-	// lazily on first use and invalidated on topology mutation.
+	// adjMu guards adj: the canonical CSR adjacency used by Propagate,
+	// built lazily on first use and invalidated on topology mutation.
 	adjMu sync.Mutex
-	adj   *dense
+	adj   *CSR
 }
 
 // NewGraph returns an empty topology.
@@ -87,8 +87,7 @@ func (g *Graph) AddAS(asn uint32, orgID, orgName, cc string, rir rpki.RIR) *AS {
 		o = &Org{ID: orgID, Name: orgName, CC: cc}
 		g.orgs[orgID] = o
 	}
-	o.ASNs = append(o.ASNs, asn)
-	sort.Slice(o.ASNs, func(i, j int) bool { return o.ASNs[i] < o.ASNs[j] })
+	o.ASNs = insertSorted(o.ASNs, asn)
 	return a
 }
 
@@ -323,15 +322,26 @@ func (g *Graph) WriteAS2Org(w io.Writer) error {
 	return bw.Flush()
 }
 
+// sortedPrefixes returns a's prefix list in ascending order, reusing the
+// stored slice when it is already sorted (arena-carved lists always are)
+// and copying only when a sort is actually needed.
+func sortedPrefixes(a *AS) []netx.Prefix {
+	ps := a.Prefixes
+	if sort.SliceIsSorted(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 }) {
+		return ps
+	}
+	ps = append([]netx.Prefix(nil), ps...)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
+	return ps
+}
+
 // WritePrefix2AS writes the CAIDA prefix2as format: "address\tlength\tasn"
 // per originated prefix, ordered by ASN then prefix.
 func (g *Graph) WritePrefix2AS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	for _, asn := range g.ASNs() {
 		a := g.ases[asn]
-		prefixes := append([]netx.Prefix(nil), a.Prefixes...)
-		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
-		for _, p := range prefixes {
+		for _, p := range sortedPrefixes(a) {
 			if _, err := fmt.Fprintf(bw, "%s\t%d\t%d\n", p.Addr(), p.Bits(), asn); err != nil {
 				return err
 			}
@@ -343,12 +353,14 @@ func (g *Graph) WritePrefix2AS(w io.Writer) error {
 // Originations returns every (prefix, origin) pair in the topology,
 // ordered by origin ASN then prefix.
 func (g *Graph) Originations() []Origination {
-	var out []Origination
-	for _, asn := range g.ASNs() {
-		a := g.ases[asn]
-		prefixes := append([]netx.Prefix(nil), a.Prefixes...)
-		sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
-		for _, p := range prefixes {
+	asns := g.ASNs()
+	total := 0
+	for _, asn := range asns {
+		total += len(g.ases[asn].Prefixes)
+	}
+	out := make([]Origination, 0, total)
+	for _, asn := range asns {
+		for _, p := range sortedPrefixes(g.ases[asn]) {
 			out = append(out, Origination{Prefix: p, Origin: asn})
 		}
 	}

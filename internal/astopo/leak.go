@@ -101,14 +101,26 @@ func (g *Graph) PropagateLeak(prefix netx.Prefix, origin, leaker uint32, filter 
 	leakTree := g.Propagate(prefix, leaker, filter)
 	// Fix up the leaker's own info so PathFrom continues toward the true
 	// origin.
-	li := leakTree.d.idx[leaker]
+	intern := leakTree.c.Intern
+	nextIdx := func(nh uint32) int32 {
+		if nh == 0 {
+			return -1
+		}
+		i, ok := intern.Index(nh)
+		if !ok {
+			return -1
+		}
+		return i
+	}
+	li, _ := intern.Index(leaker)
 	leakTree.info[li] = RouteInfo{Class: leakerInfo.Class, NextHop: leakerInfo.NextHop, PathLen: leakerInfo.PathLen}
+	leakTree.next[li] = nextIdx(leakerInfo.NextHop)
 	leakTree.Origin = origin
 	// Splice the normal tree's entries for ASes on the leaker's upstream
 	// path so reconstruction terminates at the origin.
 	cur := leakerInfo.NextHop
 	for cur != 0 {
-		ci := leakTree.d.idx[cur]
+		ci, _ := intern.Index(cur)
 		info, ok := normal.Info(cur)
 		if !ok {
 			break
@@ -118,8 +130,10 @@ func (g *Graph) PropagateLeak(prefix netx.Prefix, origin, leaker uint32, filter 
 		}
 		leakTree.info[ci] = info
 		if cur == origin {
+			leakTree.next[ci] = -1
 			break
 		}
+		leakTree.next[ci] = nextIdx(info.NextHop)
 		cur = info.NextHop
 	}
 	return normal, leakTree

@@ -2,7 +2,6 @@ package astopo
 
 import (
 	"context"
-	"sort"
 
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/parallel"
@@ -36,59 +35,15 @@ type RouteInfo struct {
 	PathLen int
 }
 
-// dense is the compact adjacency view Propagate runs on: ASNs mapped to
-// contiguous indexes. It is rebuilt lazily after topology mutations.
-type dense struct {
-	asns      []uint32 // index → ASN
-	idx       map[uint32]int
-	providers [][]int32
-	customers [][]int32
-	peers     [][]int32
-}
-
-// denseAdj returns the dense adjacency view, building it on first use.
-// The build is guarded by g.adjMu so any number of goroutines may
-// Propagate concurrently; see the Graph concurrency contract.
-func (g *Graph) denseAdj() *dense {
-	g.adjMu.Lock()
-	defer g.adjMu.Unlock()
-	if g.adj != nil {
-		return g.adj
-	}
-	d := &dense{idx: make(map[uint32]int, len(g.ases))}
-	d.asns = g.ASNs()
-	for i, asn := range d.asns {
-		d.idx[asn] = i
-	}
-	n := len(d.asns)
-	d.providers = make([][]int32, n)
-	d.customers = make([][]int32, n)
-	d.peers = make([][]int32, n)
-	conv := func(asns []uint32) []int32 {
-		out := make([]int32, 0, len(asns))
-		for _, a := range asns {
-			out = append(out, int32(d.idx[a]))
-		}
-		return out
-	}
-	for i, asn := range d.asns {
-		a := g.ases[asn]
-		d.providers[i] = conv(a.Providers)
-		d.customers[i] = conv(a.Customers)
-		d.peers[i] = conv(a.Peers)
-	}
-	g.adj = d
-	return d
-}
-
 // RouteTree is the result of propagating a single (prefix, origin):
-// every AS's best route, queryable by ASN.
+// every AS's best route, queryable by ASN or by interned index.
 type RouteTree struct {
 	Prefix netx.Prefix
 	Origin uint32
 
-	d    *dense
+	c    *CSR
 	info []RouteInfo // indexed densely; Class == classNone means no route
+	next []int32     // next-hop index per node, -1 at the origin / unreached
 	n    int
 }
 
@@ -100,8 +55,16 @@ func (t *RouteTree) Has(asn uint32) bool {
 
 // Info returns asn's best route and whether one exists.
 func (t *RouteTree) Info(asn uint32) (RouteInfo, bool) {
-	i, ok := t.d.idx[asn]
+	i, ok := t.c.Intern.Index(asn)
 	if !ok || t.info[i].Class == classNone {
+		return RouteInfo{}, false
+	}
+	return t.info[i], true
+}
+
+// InfoAt is Info by interned index, skipping the symbol-table lookup.
+func (t *RouteTree) InfoAt(i int32) (RouteInfo, bool) {
+	if t.info[i].Class == classNone {
 		return RouteInfo{}, false
 	}
 	return t.info[i], true
@@ -113,41 +76,74 @@ func (t *RouteTree) Len() int { return t.n }
 // Reached returns the ASNs with a route, ascending.
 func (t *RouteTree) Reached() []uint32 {
 	out := make([]uint32, 0, t.n)
+	// Interned ASNs ascend with the index, so the append order is
+	// already sorted.
 	for i, info := range t.info {
 		if info.Class != classNone {
-			out = append(out, t.d.asns[i])
+			out = append(out, t.c.Intern.asns[i])
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // PathFrom reconstructs the AS path from asn to the origin (inclusive on
 // both ends). It returns nil when asn has no route.
 func (t *RouteTree) PathFrom(asn uint32) []uint32 {
-	if !t.Has(asn) {
+	i, ok := t.c.Intern.Index(asn)
+	if !ok || t.info[i].Class == classNone {
 		return nil
 	}
-	var path []uint32
-	cur := asn
+	return t.appendPathAt(nil, i)
+}
+
+// AppendPathAt appends the AS path from the node at interned index i to
+// the origin onto dst and returns it, so callers walking many paths can
+// reuse one buffer. Nothing is appended when the node has no route.
+func (t *RouteTree) AppendPathAt(dst []uint32, i int32) []uint32 {
+	if t.info[i].Class == classNone {
+		return dst
+	}
+	return t.appendPathAt(dst, i)
+}
+
+func (t *RouteTree) appendPathAt(dst []uint32, i int32) []uint32 {
+	asns := t.c.Intern.asns
 	for {
-		path = append(path, cur)
-		info, ok := t.Info(cur)
-		if !ok {
-			return nil // broken chain; cannot happen with consistent trees
+		dst = append(dst, asns[i])
+		ni := t.next[i]
+		if ni < 0 {
+			return dst
 		}
-		if info.NextHop == 0 && cur == t.Origin {
-			return path
-		}
-		if info.NextHop == 0 || len(path) > len(t.info)+1 {
-			return nil
-		}
-		cur = info.NextHop
+		i = ni
 	}
 }
 
+// betterRoute reports whether a candidate (class, plen, nh) beats the
+// current route cur: class, then path length, then lowest next-hop ASN.
+func betterRoute(cur RouteInfo, class RouteClass, plen int, nh uint32) bool {
+	if cur.Class == classNone {
+		return true
+	}
+	if class != cur.Class {
+		return class < cur.Class
+	}
+	if plen != cur.PathLen {
+		return plen < cur.PathLen
+	}
+	return nh < cur.NextHop
+}
+
+// peerCand is a deferred phase-2 peer export: node from offers its route
+// to node at.
+type peerCand struct {
+	at, from int32
+	plen     int
+}
+
 // Propagate floods (prefix, origin) through the topology under
-// Gao–Rexford (valley-free) routing and returns the resulting route tree.
+// Gao–Rexford (valley-free) routing and returns the resulting route
+// tree. The tree aliases the Propagator's scratch and is valid only
+// until the next Propagate call on this Propagator.
 //
 // Export rules: an AS exports routes learned from customers (and its own
 // routes) to everyone; routes learned from peers or providers are
@@ -157,131 +153,132 @@ func (t *RouteTree) PathFrom(asn uint32) []uint32 {
 // The filter is consulted at every import edge; a dropped route does not
 // propagate further through that AS (matching how ROV deployment bounds
 // invalid-route visibility, §9.4).
-func (g *Graph) Propagate(prefix netx.Prefix, origin uint32, filter ImportFilter) *RouteTree {
-	d := g.denseAdj()
-	tree := &RouteTree{Prefix: prefix, Origin: origin, d: d, info: make([]RouteInfo, len(d.asns))}
-	for i := range tree.info {
-		tree.info[i].Class = classNone
+func (p *Propagator) Propagate(prefix netx.Prefix, origin uint32, filter ImportFilter) *RouteTree {
+	c := p.c
+	t := &p.tree
+	t.Prefix, t.Origin = prefix, origin
+	info, next := t.info, t.next
+	asns := c.Intern.asns
+	for i := range info {
+		info[i].Class = classNone
+		next[i] = -1
 	}
-	oi, ok := d.idx[origin]
+	t.n = 0
+	oi, ok := c.Intern.Index(origin)
 	if !ok {
-		return tree
+		return t
 	}
-	accept := filter
-	if accept == nil {
-		accept = func(uint32, uint32, netx.Prefix, uint32) bool { return true }
-	}
-	tree.info[oi] = RouteInfo{Class: ClassOrigin, NextHop: 0, PathLen: 1}
-	tree.n = 1
+	info[oi] = RouteInfo{Class: ClassOrigin, NextHop: 0, PathLen: 1}
+	t.n = 1
 
-	// better reports whether (class, plen, nh) beats the current route at
-	// node i.
-	better := func(i int, class RouteClass, plen int, nh uint32) bool {
-		cur := tree.info[i]
-		if cur.Class == classNone {
-			return true
-		}
-		if class != cur.Class {
-			return class < cur.Class
-		}
-		if plen != cur.PathLen {
-			return plen < cur.PathLen
-		}
-		return nh < cur.NextHop
+	if p.inNext == nil {
+		p.inNext = make([]bool, c.N())
 	}
-	set := func(i int, class RouteClass, plen int, nh uint32) {
-		if tree.info[i].Class == classNone {
-			tree.n++
-		}
-		tree.info[i] = RouteInfo{Class: class, NextHop: nh, PathLen: plen}
-	}
+	inNext := p.inNext
 
 	// Phase 1 — "up": customer routes climb provider links.
-	frontier := []int32{int32(oi)}
-	inNext := make([]bool, len(d.asns))
+	frontier := append(p.frontier[:0], oi)
+	scratch := p.scratch[:0]
 	for len(frontier) > 0 {
-		var next []int32
+		nextFrontier := scratch[:0]
 		for _, fi := range frontier {
 			inNext[fi] = false
-			info := tree.info[fi]
-			fromASN := d.asns[fi]
-			for _, pi := range d.providers[fi] {
-				if !better(int(pi), ClassCustomer, info.PathLen+1, fromASN) {
+			plen := info[fi].PathLen + 1
+			fromASN := asns[fi]
+			for _, pi := range c.Providers(fi) {
+				if !betterRoute(info[pi], ClassCustomer, plen, fromASN) {
 					continue
 				}
-				if !accept(d.asns[pi], fromASN, prefix, origin) {
+				if filter != nil && !filter(asns[pi], fromASN, prefix, origin) {
 					continue
 				}
-				set(int(pi), ClassCustomer, info.PathLen+1, fromASN)
+				if info[pi].Class == classNone {
+					t.n++
+				}
+				info[pi] = RouteInfo{Class: ClassCustomer, NextHop: fromASN, PathLen: plen}
+				next[pi] = fi
 				if !inNext[pi] {
 					inNext[pi] = true
-					next = append(next, pi)
+					nextFrontier = append(nextFrontier, pi)
 				}
 			}
 		}
-		frontier = next
+		frontier, scratch = nextFrontier, frontier
 	}
 
 	// Phase 2 — "across": ASes holding an origin/customer route export it
 	// to peers; peer routes stop there (valley-free). Candidates are
 	// collected first so update order cannot influence the outcome.
-	type peerCand struct {
-		at   int32
-		plen int
-		nh   uint32
-	}
-	var cands []peerCand
-	for i := range tree.info {
-		info := tree.info[i]
-		if info.Class > ClassCustomer {
+	cands := p.cands[:0]
+	for i := range info {
+		if info[i].Class > ClassCustomer {
 			continue
 		}
-		fromASN := d.asns[i]
-		for _, pi := range d.peers[i] {
-			cands = append(cands, peerCand{at: pi, plen: info.PathLen + 1, nh: fromASN})
+		plen := info[i].PathLen + 1
+		for _, pi := range c.Peers(int32(i)) {
+			cands = append(cands, peerCand{at: pi, from: int32(i), plen: plen})
 		}
 	}
-	for _, c := range cands {
-		if !better(int(c.at), ClassPeer, c.plen, c.nh) {
+	for _, cand := range cands {
+		nh := asns[cand.from]
+		if !betterRoute(info[cand.at], ClassPeer, cand.plen, nh) {
 			continue
 		}
-		if !accept(d.asns[c.at], c.nh, prefix, origin) {
+		if filter != nil && !filter(asns[cand.at], nh, prefix, origin) {
 			continue
 		}
-		set(int(c.at), ClassPeer, c.plen, c.nh)
+		if info[cand.at].Class == classNone {
+			t.n++
+		}
+		info[cand.at] = RouteInfo{Class: ClassPeer, NextHop: nh, PathLen: cand.plen}
+		next[cand.at] = cand.from
 	}
+	p.cands = cands[:0]
 
 	// Phase 3 — "down": all routes descend customer links (Bellman-Ford
 	// style; improvements re-queue).
 	frontier = frontier[:0]
-	for i := range tree.info {
-		if tree.info[i].Class != classNone {
+	for i := range info {
+		if info[i].Class != classNone {
 			frontier = append(frontier, int32(i))
 		}
 	}
 	for len(frontier) > 0 {
-		var next []int32
+		nextFrontier := scratch[:0]
 		for _, fi := range frontier {
 			inNext[fi] = false
-			info := tree.info[fi]
-			fromASN := d.asns[fi]
-			for _, ci := range d.customers[fi] {
-				if !better(int(ci), ClassProvider, info.PathLen+1, fromASN) {
+			plen := info[fi].PathLen + 1
+			fromASN := asns[fi]
+			for _, ci := range c.Customers(fi) {
+				if !betterRoute(info[ci], ClassProvider, plen, fromASN) {
 					continue
 				}
-				if !accept(d.asns[ci], fromASN, prefix, origin) {
+				if filter != nil && !filter(asns[ci], fromASN, prefix, origin) {
 					continue
 				}
-				set(int(ci), ClassProvider, info.PathLen+1, fromASN)
+				if info[ci].Class == classNone {
+					t.n++
+				}
+				info[ci] = RouteInfo{Class: ClassProvider, NextHop: fromASN, PathLen: plen}
+				next[ci] = fi
 				if !inNext[ci] {
 					inNext[ci] = true
-					next = append(next, ci)
+					nextFrontier = append(nextFrontier, ci)
 				}
 			}
 		}
-		frontier = next
+		frontier, scratch = nextFrontier, frontier
 	}
-	return tree
+	p.frontier, p.scratch = frontier[:0], scratch[:0]
+	return t
+}
+
+// Propagate floods (prefix, origin) and returns an independently owned
+// route tree (safe to retain). Hot loops that flood many pairs and do
+// not retain trees should use a Propagator, which reuses its scratch.
+func (g *Graph) Propagate(prefix netx.Prefix, origin uint32, filter ImportFilter) *RouteTree {
+	p := NewCSRPropagator(g.CSR())
+	return p.Propagate(prefix, origin, filter)
 }
 
 // PropagateRequest is one unit of PropagateBatch work: flood (Prefix,
@@ -319,7 +316,7 @@ func (g *Graph) PropagateBatchCtx(ctx context.Context, reqs []PropagateRequest, 
 	if len(reqs) == 0 {
 		return trees, nil
 	}
-	g.denseAdj() // build once, outside the pool
+	g.CSR() // build once, outside the pool
 	err := parallel.ForEachCtx(ctx, len(reqs), workers, func(i int) {
 		r := reqs[i]
 		trees[i] = g.Propagate(r.Prefix, r.Origin, r.Filter)

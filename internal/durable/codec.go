@@ -21,7 +21,6 @@ import (
 	"hash/fnv"
 	"math"
 	"net/netip"
-	"sort"
 	"time"
 
 	"manrsmeter/internal/astopo"
@@ -35,7 +34,7 @@ import (
 // old binary never misreads a new archive (or vice versa).
 const (
 	archiveMagic   = "MANRSNAP"
-	archiveVersion = 1
+	archiveVersion = 2 // v2: visibility as sorted parallel slices (ihr.Visibility)
 )
 
 // SnapshotData is the durable subset of a serve snapshot: everything
@@ -56,7 +55,7 @@ type SnapshotData struct {
 
 	PrefixOrigins []ihr.PrefixOrigin
 	Transits      []ihr.TransitRow
-	Visibility    map[astopo.Origination]int
+	Visibility    ihr.Visibility
 	// RPKI and IRR are the validation registries' authorizations
 	// (VRPs / route objects) active at Date, in rov.Index.All() order.
 	RPKI, IRR []rov.Authorization
@@ -119,24 +118,19 @@ func Encode(d *SnapshotData) []byte {
 		e.bool(tr.FromCustomer)
 	}
 
-	// Visibility is a map: emit in sorted (prefix, origin) order so the
-	// encoding — and therefore the checksum and filename — is a pure
-	// function of the content.
-	vis := make([]astopo.Origination, 0, len(d.Visibility))
-	for og := range d.Visibility {
-		vis = append(vis, og)
-	}
-	sort.Slice(vis, func(i, j int) bool {
-		if c := vis[i].Prefix.Compare(vis[j].Prefix); c != 0 {
-			return c < 0
-		}
-		return vis[i].Origin < vis[j].Origin
-	})
-	e.uvarint(uint64(len(vis)))
-	for _, og := range vis {
+	// Visibility is canonically sorted by (origin, prefix) — emit a
+	// normalized copy so the encoding, and therefore the checksum and
+	// filename, is a pure function of the content even for callers that
+	// assembled the slices by hand.
+	vis := d.Visibility
+	vis.Origs = append([]astopo.Origination(nil), vis.Origs...)
+	vis.Counts = append([]int32(nil), vis.Counts...)
+	vis.Normalize()
+	e.uvarint(uint64(vis.Len()))
+	for i, og := range vis.Origs {
 		e.prefix(og.Prefix)
 		e.uvarint(uint64(og.Origin))
-		e.uvarint(uint64(d.Visibility[og]))
+		e.uvarint(uint64(uint32(vis.Counts[i])))
 	}
 
 	for _, auths := range [][]rov.Authorization{d.RPKI, d.IRR} {
@@ -250,9 +244,10 @@ func Decode(data []byte) (*SnapshotData, error) {
 	if err != nil {
 		return nil, fmt.Errorf("durable: visibility count: %w", err)
 	}
-	d.Visibility = make(map[astopo.Origination]int, n)
+	d.Visibility.Origs = make([]astopo.Origination, n)
+	d.Visibility.Counts = make([]int32, n)
 	for i := 0; i < n; i++ {
-		var og astopo.Origination
+		og := &d.Visibility.Origs[i]
 		if og.Prefix, err = r.prefix(); err != nil {
 			return nil, fmt.Errorf("durable: visibility %d: %w", i, err)
 		}
@@ -263,10 +258,17 @@ func Decode(data []byte) (*SnapshotData, error) {
 		if err != nil || seen > math.MaxInt32 {
 			return nil, fmt.Errorf("durable: visibility %d: bad count", i)
 		}
-		if _, dup := d.Visibility[og]; dup {
-			return nil, fmt.Errorf("durable: visibility %d: duplicate origination", i)
+		// Entries must arrive strictly ascending by (origin, prefix):
+		// that is both the canonical encoding and the invariant the
+		// binary-search lookup relies on after restore.
+		if i > 0 {
+			prev := d.Visibility.Origs[i-1]
+			if prev.Origin > og.Origin ||
+				(prev.Origin == og.Origin && prev.Prefix.Compare(og.Prefix) >= 0) {
+				return nil, fmt.Errorf("durable: visibility %d: entries out of order", i)
+			}
 		}
-		d.Visibility[og] = int(seen)
+		d.Visibility.Counts[i] = int32(seen)
 	}
 
 	for s, dst := range []*[]rov.Authorization{&d.RPKI, &d.IRR} {

@@ -36,10 +36,13 @@ func testSnapshotData(variant int) *SnapshotData {
 			{Prefix: p2, Origin: 64501, Transit: 64511, Hegemony: 0.5,
 				RPKI: rov.InvalidASN, IRR: rov.InvalidLength, FromCustomer: false},
 		},
-		Visibility: map[astopo.Origination]int{
-			{Prefix: p1, Origin: 64500}: 7,
-			{Prefix: p2, Origin: 64501}: 3 + variant,
-			{Prefix: p3, Origin: 64502}: 1,
+		Visibility: ihr.Visibility{
+			Origs: []astopo.Origination{
+				{Prefix: p1, Origin: 64500},
+				{Prefix: p2, Origin: 64501},
+				{Prefix: p3, Origin: 64502},
+			},
+			Counts: []int32{7, int32(3 + variant), 1},
 		},
 		RPKI: []rov.Authorization{
 			{Prefix: p1, ASN: 64500, MaxLength: 24},

@@ -1,0 +1,101 @@
+package hegemony
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAccumulatorMatchesScores is the differential gate: for random path
+// sets (with empty paths, single-hop paths, prepending duplicates, and
+// varied trims) the Accumulator must reproduce Ranked(Scores(...))
+// bit-for-bit.
+func TestAccumulatorMatchesScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	acc := NewAccumulator()
+	for trial := 0; trial < 200; trial++ {
+		nPaths := rng.Intn(30)
+		paths := make([][]uint32, 0, nPaths)
+		for i := 0; i < nPaths; i++ {
+			plen := rng.Intn(7)
+			p := make([]uint32, 0, plen+2)
+			for j := 0; j < plen; j++ {
+				asn := uint32(1 + rng.Intn(40))
+				p = append(p, asn)
+				if rng.Intn(4) == 0 { // prepend
+					p = append(p, asn)
+				}
+			}
+			paths = append(paths, p)
+		}
+		trim := []float64{0, 0.1, 0.25, 0.5, 0.9}[rng.Intn(5)]
+
+		acc.Reset()
+		for _, p := range paths {
+			acc.AddPath(p)
+		}
+		got := acc.Ranked(trim)
+
+		want := Ranked(Scores(paths, trim))
+		if len(got) != len(want) {
+			t.Fatalf("trial %d trim %v: %d scores, want %d\n got %v\nwant %v",
+				trial, trim, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i].ASN != want[i].ASN || got[i].Hegemony != want[i].Hegemony {
+				t.Fatalf("trial %d trim %v: score[%d] = %v, want %v", trial, trim, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIndicatorTrimmedMeanEdgeCases(t *testing.T) {
+	// Tiny n where the trimmed window collapses to the plain mean.
+	for n := 1; n <= 12; n++ {
+		for c := 0; c <= n; c++ {
+			for _, trim := range []float64{0, 0.1, 0.4999, 0.5, 2} {
+				xs := make([]float64, n)
+				for i := 0; i < c; i++ {
+					xs[i] = 1
+				}
+				want := refTrimmedMean(xs, trim)
+				got := indicatorTrimmedMean(c, n, trim)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("n=%d c=%d trim=%v: got %v want %v", n, c, trim, got, want)
+				}
+			}
+		}
+	}
+}
+
+// refTrimmedMean mirrors stats.TrimmedMean for 0/1 inputs.
+func refTrimmedMean(xs []float64, trim float64) float64 {
+	if trim <= 0 {
+		return mean(xs)
+	}
+	if trim >= 0.5 {
+		trim = 0.49
+	}
+	s := append([]float64(nil), xs...)
+	// xs is zeros-then-ones already reversed; sort ascending.
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+	k := int(math.Floor(trim * float64(len(s))))
+	s = s[k : len(s)-k]
+	if len(s) == 0 {
+		return mean(xs)
+	}
+	return mean(s)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -12,6 +12,7 @@
 package hegemony
 
 import (
+	"math"
 	"sort"
 
 	"manrsmeter/internal/stats"
@@ -87,4 +88,117 @@ func Ranked(scores map[uint32]float64) []Score {
 		return out[i].ASN < out[j].ASN
 	})
 	return out
+}
+
+// Accumulator computes the same scores as Scores/Ranked while reusing
+// all internal state across destinations, so a worker scoring many
+// prefix-origin pairs performs almost no per-destination allocation.
+//
+// The equivalence rests on the indicator vectors being 0/1: the trimmed
+// mean of a 0/1 vector depends only on the count of ones c and the
+// vector length n, so per-AS crossing counts are sufficient. Reset
+// starts a destination, AddPath folds in one vantage path (consumed
+// immediately; the caller may reuse the slice), and Ranked returns the
+// same ordering Ranked(Scores(paths, trim)) would. Not safe for
+// concurrent use; give each worker its own.
+type Accumulator struct {
+	ver  int
+	n    int // non-empty paths this destination
+	ents map[uint32]accEntry
+	out  []Score
+}
+
+type accEntry struct {
+	cnt, ver, pathSeq int
+}
+
+// NewAccumulator returns an empty Accumulator.
+func NewAccumulator() *Accumulator {
+	return &Accumulator{ents: make(map[uint32]accEntry)}
+}
+
+// Reset starts a new destination, discarding all accumulated paths.
+func (a *Accumulator) Reset() {
+	a.ver++
+	a.n = 0
+}
+
+// AddPath folds in one vantage path (vantage-first, origin-last). Empty
+// paths are ignored, the vantage AS is excluded from its own path, and
+// prepending duplicates count once — exactly as Scores.
+func (a *Accumulator) AddPath(p []uint32) {
+	if len(p) == 0 {
+		return
+	}
+	a.n++
+	seq := a.n
+	for i, asn := range p {
+		if i == 0 && len(p) > 1 {
+			continue
+		}
+		e := a.ents[asn]
+		if e.ver != a.ver {
+			e = accEntry{ver: a.ver}
+		}
+		if e.pathSeq == seq {
+			continue
+		}
+		e.pathSeq = seq
+		e.cnt++
+		a.ents[asn] = e
+	}
+}
+
+// Ranked returns the destination's scores sorted by descending hegemony,
+// ties by ascending ASN — identical to Ranked(Scores(paths, trim)). The
+// returned slice is reused by the next Ranked call on this Accumulator.
+func (a *Accumulator) Ranked(trim float64) []Score {
+	out := a.out[:0]
+	if a.n == 0 {
+		return out
+	}
+	for asn, e := range a.ents {
+		if e.ver != a.ver || e.cnt == 0 {
+			continue
+		}
+		if h := indicatorTrimmedMean(e.cnt, a.n, trim); h > 0 {
+			out = append(out, Score{ASN: asn, Hegemony: h})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hegemony != out[j].Hegemony {
+			return out[i].Hegemony > out[j].Hegemony
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	a.out = out
+	return out
+}
+
+// indicatorTrimmedMean is stats.TrimmedMean specialized to a 0/1 vector
+// with c ones among n entries: sorting places the n-c zeros first, so
+// the trimmed window [k, n-k) holds max(0, (n-k)-max(k, n-c)) ones.
+// Sums of 0/1 values are exact in float64, so the result is bit-equal
+// to the general path.
+func indicatorTrimmedMean(c, n int, trim float64) float64 {
+	if trim <= 0 {
+		return float64(c) / float64(n)
+	}
+	if trim >= 0.5 {
+		trim = 0.49
+	}
+	k := int(math.Floor(trim * float64(n)))
+	w := n - 2*k
+	if w <= 0 {
+		return float64(c) / float64(n)
+	}
+	lo := k
+	if n-c > lo {
+		lo = n - c
+	}
+	ones := (n - k) - lo
+	if ones < 0 {
+		ones = 0
+	}
+	return float64(ones) / float64(w)
 }

@@ -113,13 +113,118 @@ type Dataset struct {
 	PrefixOrigins []PrefixOrigin
 	Transits      []TransitRow
 	// Visibility counts how many vantage points saw each prefix-origin.
-	Visibility map[astopo.Origination]int
+	Visibility Visibility
 }
 
+// Visibility is the compact per-origination vantage-point count: two
+// parallel slices sorted by (origin, prefix), queried by binary search.
+// At ~1M originations the map it replaces cost ~50 bytes/entry of
+// overhead; this form is also what the durable codec persists.
+type Visibility struct {
+	Origs  []astopo.Origination
+	Counts []int32
+}
+
+// Len returns the number of originations recorded.
+func (v Visibility) Len() int { return len(v.Origs) }
+
+// Count returns how many vantage points saw og (0 when unrecorded).
+func (v Visibility) Count(og astopo.Origination) int {
+	lo, hi := 0, len(v.Origs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if visLess(v.Origs[mid], og) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(v.Origs) && v.Origs[lo] == og {
+		return int(v.Counts[lo])
+	}
+	return 0
+}
+
+func visLess(a, b astopo.Origination) bool {
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.Prefix.Compare(b.Prefix) < 0
+}
+
+// Normalize sorts the parallel slices by (origin, prefix) and collapses
+// duplicate originations (which necessarily carry equal counts), so
+// Count's binary search is valid for any input order.
+func (v *Visibility) Normalize() {
+	sorted := true
+	for i := 1; i < len(v.Origs); i++ {
+		if visLess(v.Origs[i], v.Origs[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sort.Sort(visByOrig{v})
+	}
+	w := 0
+	for i := range v.Origs {
+		if i > 0 && v.Origs[i] == v.Origs[w-1] {
+			continue
+		}
+		v.Origs[w], v.Counts[w] = v.Origs[i], v.Counts[i]
+		w++
+	}
+	v.Origs, v.Counts = v.Origs[:w], v.Counts[:w]
+}
+
+type visByOrig struct{ v *Visibility }
+
+func (s visByOrig) Len() int           { return len(s.v.Origs) }
+func (s visByOrig) Less(i, j int) bool { return visLess(s.v.Origs[i], s.v.Origs[j]) }
+func (s visByOrig) Swap(i, j int) {
+	s.v.Origs[i], s.v.Origs[j] = s.v.Origs[j], s.v.Origs[i]
+	s.v.Counts[i], s.v.Counts[j] = s.v.Counts[j], s.v.Counts[i]
+}
+
+// treeKey identifies one equivalence class of propagations: originations
+// whose route trees are provably identical share one key, one
+// propagation, and one derived row template. Beyond the origin, the
+// import filters only read two bits of a pair's statuses — "RPKI is
+// invalid" (either kind) and "IRR status is InvalidASN" — and only the
+// InvalidASN-IRR branch consults the announced prefix (the deterministic
+// filter-miss hash). So:
+//
+//   - irr == InvalidASN: prefix-sensitive; group by the full
+//     (origin, rpki, irr) statuses exactly as a sequential walk would,
+//     seeding the filter with the first-appearing pair's prefix.
+//   - otherwise RPKI-invalid: one class per origin (both invalid kinds
+//     and every non-InvalidASN IRR status behave identically).
+//   - otherwise (or no policies at all): the benign class — the filter
+//     provably accepts every edge, so propagation runs filterless.
 type treeKey struct {
 	origin uint32
+	class  uint8 // 0 benign, 1 rpki-invalid, 2 irr-invalid-asn
 	rpki   rov.Status
 	irr    rov.Status
+}
+
+const (
+	classBenign   = 0
+	classRPKIInv  = 1
+	classIRRInvAS = 2
+)
+
+func makeTreeKey(origin uint32, rpkiS, irrS rov.Status, havePolicies bool) treeKey {
+	if !havePolicies {
+		return treeKey{origin: origin, class: classBenign}
+	}
+	if irrS == rov.InvalidASN {
+		return treeKey{origin: origin, class: classIRRInvAS, rpki: rpkiS, irr: irrS}
+	}
+	if rpkiS.IsInvalid() {
+		return treeKey{origin: origin, class: classRPKIInv}
+	}
+	return treeKey{origin: origin, class: classBenign}
 }
 
 // Build constructs the dataset for every origination in the graph.
@@ -170,105 +275,168 @@ func BuildCtx(ctx context.Context, cfg Config) (*Dataset, error) {
 		return nil, fmt.Errorf("ihr: classify originations: %w", err)
 	}
 
-	// Stage 2: group by treeKey. Propagation depends on the origin and on
-	// the pair's validation statuses (the only inputs to the filters), so
-	// trees are shared on that key — most origins have a single status
-	// combination. Keys are collected in first-appearance order so the
-	// representative origination (whose prefix seeds the filter) matches
-	// what a sequential walk would pick.
-	keyIdx := make([]int, len(origs))
-	slot := make(map[treeKey]int)
-	var reps []int // index of the representative origination per key
+	// Stage 2: group originations into tree-equivalence classes (see
+	// treeKey). Keys are collected in first-appearance order so the
+	// representative origination (whose prefix seeds the prefix-sensitive
+	// filters) matches what a sequential walk would pick.
+	havePolicies := len(cfg.Policies) > 0
+	keyIdx := make([]int32, len(origs))
+	slot := make(map[treeKey]int32)
+	var reps []int32 // index of the representative origination per key
 	for i, og := range origs {
-		key := treeKey{og.Origin, statuses[i].rpki, statuses[i].irr}
+		key := makeTreeKey(og.Origin, statuses[i].rpki, statuses[i].irr, havePolicies)
 		s, ok := slot[key]
 		if !ok {
-			s = len(reps)
+			s = int32(len(reps))
 			slot[key] = s
-			reps = append(reps, i)
+			reps = append(reps, int32(i))
 		}
 		keyIdx[i] = s
 	}
 
-	// Stage 3: propagate one route tree per unique key across the pool.
-	trees := make([]*astopo.RouteTree, len(reps))
-	err = parallel.ForEachCtx(ctx, len(reps), cfg.Workers, func(s int) {
-		og := origs[reps[s]]
-		st := statuses[reps[s]]
-		filter := makeFilter(cfg.Graph, cfg.Policies, st.rpki, st.irr)
-		trees[s] = cfg.Graph.Propagate(og.Prefix, og.Origin, filter)
+	// Stage 3: per key — propagate, walk the vantage paths, score
+	// hegemony, and reduce to a compact row template. Everything a row
+	// needs beyond the (Prefix, Origin, RPKI, IRR) labels depends only on
+	// the key, so the route tree itself is worker scratch: each worker
+	// owns one Propagator and one hegemony Accumulator and reuses them
+	// across its whole index range, keeping per-worker memory bounded by
+	// one tree regardless of how many keys the world has.
+	type transitTpl struct {
+		transit      uint32
+		hegemony     float64
+		fromCustomer bool
+	}
+	type keyTemplate struct {
+		seen     int32
+		transits []transitTpl
+	}
+	templates := make([]keyTemplate, len(reps))
+	csr := cfg.Graph.CSR()
+	vpIdx := make([]int32, 0, len(cfg.VantagePoints))
+	for _, v := range cfg.VantagePoints {
+		if vi, ok := csr.Intern.Index(v); ok {
+			vpIdx = append(vpIdx, vi)
+		}
+	}
+	workers := parallel.Workers(cfg.Workers, len(reps))
+	chunks := workers * 4
+	if chunks > len(reps) {
+		chunks = len(reps)
+	}
+	err = parallel.ForEachCtx(ctx, chunks, workers, func(chunk int) {
+		prop := astopo.NewCSRPropagator(csr)
+		acc := hegemony.NewAccumulator()
+		var pathBuf []uint32
+		lo := chunk * len(reps) / chunks
+		hi := (chunk + 1) * len(reps) / chunks
+		for s := lo; s < hi; s++ {
+			if ctx.Err() != nil {
+				return
+			}
+			rep := reps[s]
+			og := origs[rep]
+			st := statuses[rep]
+			var filter astopo.ImportFilter
+			if makeTreeKey(og.Origin, st.rpki, st.irr, havePolicies).class != classBenign {
+				filter = makeFilter(cfg.Graph, cfg.Policies, st.rpki, st.irr)
+			}
+			tree := prop.Propagate(og.Prefix, og.Origin, filter)
+			acc.Reset()
+			seen := int32(0)
+			for _, vi := range vpIdx {
+				pathBuf = tree.AppendPathAt(pathBuf[:0], vi)
+				if len(pathBuf) > 0 {
+					seen++
+					acc.AddPath(pathBuf)
+				}
+			}
+			tpl := keyTemplate{seen: seen}
+			if seen > 0 {
+				ranked := acc.Ranked(trim)
+				n := 0
+				for _, sc := range ranked {
+					if sc.ASN != og.Origin {
+						n++
+					}
+				}
+				if n > 0 {
+					tpl.transits = make([]transitTpl, 0, n)
+					for _, sc := range ranked {
+						if sc.ASN == og.Origin {
+							continue // trivial transit: lives in the prefix-origin dataset
+						}
+						tpl.transits = append(tpl.transits, transitTpl{
+							transit:      sc.ASN,
+							hegemony:     sc.Hegemony,
+							fromCustomer: fromCustomer(tree, sc.ASN),
+						})
+					}
+				}
+			}
+			templates[s] = tpl
+		}
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ihr: propagate route trees: %w", err)
+		return nil, fmt.Errorf("ihr: propagate and score route trees: %w", err)
 	}
 
-	// Stage 4: derive each origination's rows into per-index slots.
-	type rowResult struct {
-		seen     int
-		visible  bool
-		transits []TransitRow
+	// Stage 4: replicate each key's template across its originations in
+	// input order, then impose total orders so the dataset is
+	// byte-identical regardless of worker count. Row counts are known up
+	// front, so both tables are allocated exactly once.
+	nPO, nTR := 0, 0
+	for i := range origs {
+		tpl := &templates[keyIdx[i]]
+		if tpl.seen == 0 && !cfg.KeepInvisible {
+			continue
+		}
+		nPO++
+		nTR += len(tpl.transits)
 	}
-	results := make([]rowResult, len(origs))
-	err = parallel.ForEachCtx(ctx, len(origs), cfg.Workers, func(i int) {
-		og := origs[i]
-		st := statuses[i]
-		tree := trees[keyIdx[i]]
-		var paths [][]uint32
-		seen := 0
-		for _, v := range cfg.VantagePoints {
-			if path := tree.PathFrom(v); path != nil {
-				paths = append(paths, path)
-				seen++
-			}
-		}
-		res := rowResult{seen: seen}
-		if seen == 0 && !cfg.KeepInvisible {
-			results[i] = res
-			return
-		}
-		res.visible = true
-		scores := hegemony.Scores(paths, trim)
-		for _, sc := range hegemony.Ranked(scores) {
-			if sc.ASN == og.Origin {
-				continue // trivial transit: lives in the prefix-origin dataset
-			}
-			res.transits = append(res.transits, TransitRow{
-				Prefix:       og.Prefix,
-				Origin:       og.Origin,
-				Transit:      sc.ASN,
-				Hegemony:     sc.Hegemony,
-				RPKI:         st.rpki,
-				IRR:          st.irr,
-				FromCustomer: fromCustomer(tree, sc.ASN),
-			})
-		}
-		results[i] = res
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ihr: derive dataset rows: %w", err)
+	ds := &Dataset{
+		PrefixOrigins: make([]PrefixOrigin, 0, nPO),
+		Transits:      make([]TransitRow, 0, nTR),
+		Visibility: Visibility{
+			Origs:  make([]astopo.Origination, len(origs)),
+			Counts: make([]int32, len(origs)),
+		},
 	}
-
-	// Stage 5: merge in input order, then impose total orders so the
-	// dataset is byte-identical regardless of worker count.
-	ds := &Dataset{Visibility: make(map[astopo.Origination]int, len(origs))}
 	for i, og := range origs {
-		ds.Visibility[og] = results[i].seen
-		if !results[i].visible {
+		tpl := &templates[keyIdx[i]]
+		ds.Visibility.Origs[i] = og
+		ds.Visibility.Counts[i] = tpl.seen
+		if tpl.seen == 0 && !cfg.KeepInvisible {
 			continue
 		}
 		ds.PrefixOrigins = append(ds.PrefixOrigins, PrefixOrigin{
 			Prefix: og.Prefix, Origin: og.Origin, RPKI: statuses[i].rpki, IRR: statuses[i].irr,
 		})
-		ds.Transits = append(ds.Transits, results[i].transits...)
+		for _, tt := range tpl.transits {
+			ds.Transits = append(ds.Transits, TransitRow{
+				Prefix:       og.Prefix,
+				Origin:       og.Origin,
+				Transit:      tt.transit,
+				Hegemony:     tt.hegemony,
+				RPKI:         statuses[i].rpki,
+				IRR:          statuses[i].irr,
+				FromCustomer: tt.fromCustomer,
+			})
+		}
 	}
-	sort.Slice(ds.PrefixOrigins, func(i, j int) bool {
+	ds.Visibility.Normalize()
+	poLess := func(i, j int) bool {
 		a, b := ds.PrefixOrigins[i], ds.PrefixOrigins[j]
 		if a.Origin != b.Origin {
 			return a.Origin < b.Origin
 		}
 		return a.Prefix.Compare(b.Prefix) < 0
-	})
-	sort.SliceStable(ds.Transits, func(i, j int) bool {
+	}
+	// Snapshot views feed originations in (origin, prefix) order, so the
+	// tables usually arrive sorted; skip the sort when they do.
+	if !sort.SliceIsSorted(ds.PrefixOrigins, poLess) {
+		sort.Slice(ds.PrefixOrigins, poLess)
+	}
+	trLess := func(i, j int) bool {
 		a, b := ds.Transits[i], ds.Transits[j]
 		if a.Origin != b.Origin {
 			return a.Origin < b.Origin
@@ -280,7 +448,10 @@ func BuildCtx(ctx context.Context, cfg Config) (*Dataset, error) {
 			return a.Hegemony > b.Hegemony
 		}
 		return a.Transit < b.Transit
-	})
+	}
+	if !sort.SliceIsSorted(ds.Transits, trLess) {
+		sort.SliceStable(ds.Transits, trLess)
+	}
 	return ds, nil
 }
 

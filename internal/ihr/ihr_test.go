@@ -93,7 +93,7 @@ func TestBuildBasic(t *testing.T) {
 	if transits[4].FromCustomer {
 		t.Error("AS4 learned from provider, not customer")
 	}
-	if ds.Visibility[astopo.Origination{Prefix: pfx("10.5.0.0/16"), Origin: 5}] != 2 {
+	if ds.Visibility.Count(astopo.Origination{Prefix: pfx("10.5.0.0/16"), Origin: 5}) != 2 {
 		t.Errorf("visibility = %v", ds.Visibility)
 	}
 }
@@ -143,7 +143,7 @@ func TestBuildROVFilteringCensorsInvalid(t *testing.T) {
 	if len(ds.PrefixOrigins) != 1 {
 		t.Fatalf("KeepInvisible should retain the pair")
 	}
-	if ds.Visibility[astopo.Origination{Prefix: pfx("10.5.1.0/24"), Origin: 6}] != 0 {
+	if ds.Visibility.Count(astopo.Origination{Prefix: pfx("10.5.1.0/24"), Origin: 6}) != 0 {
 		t.Errorf("visibility = %v", ds.Visibility)
 	}
 }

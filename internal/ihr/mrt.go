@@ -60,7 +60,7 @@ func FromMRT(dump *mrt.Dump, g *astopo.Graph, rpkiIx, irrIx *rov.Index, trim flo
 		return order[i].prefix.Compare(order[j].prefix) < 0
 	})
 
-	ds := &Dataset{Visibility: make(map[astopo.Origination]int)}
+	ds := &Dataset{}
 	for _, k := range order {
 		ps := paths[k]
 		rpkiS := validate(rpkiIx, k.prefix, k.origin)
@@ -68,7 +68,8 @@ func FromMRT(dump *mrt.Dump, g *astopo.Graph, rpkiIx, irrIx *rov.Index, trim flo
 		ds.PrefixOrigins = append(ds.PrefixOrigins, PrefixOrigin{
 			Prefix: k.prefix, Origin: k.origin, RPKI: rpkiS, IRR: irrS,
 		})
-		ds.Visibility[astopo.Origination{Prefix: k.prefix, Origin: k.origin}] = len(ps)
+		ds.Visibility.Origs = append(ds.Visibility.Origs, astopo.Origination{Prefix: k.prefix, Origin: k.origin})
+		ds.Visibility.Counts = append(ds.Visibility.Counts, int32(len(ps)))
 		scores := hegemony.Scores(ps, trim)
 		for _, sc := range hegemony.Ranked(scores) {
 			if sc.ASN == k.origin {
@@ -85,6 +86,7 @@ func FromMRT(dump *mrt.Dump, g *astopo.Graph, rpkiIx, irrIx *rov.Index, trim flo
 			})
 		}
 	}
+	ds.Visibility.Normalize()
 	return ds, nil
 }
 

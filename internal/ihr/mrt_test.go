@@ -105,7 +105,7 @@ func TestFromMRT(t *testing.T) {
 		t.Error("AS4 learned from its provider")
 	}
 	// Visibility counts vantage paths.
-	if ds.Visibility[origKey("10.5.0.0/16", 5)] != 2 {
+	if ds.Visibility.Count(origKey("10.5.0.0/16", 5)) != 2 {
 		t.Errorf("visibility = %v", ds.Visibility)
 	}
 }

@@ -136,6 +136,19 @@ func (db *Database) AddRoute(prefix netx.Prefix, origin uint32) error {
 	return nil
 }
 
+// AddRouteCompact registers a route object without materializing an RPSL
+// object for it: only the parsed RouteObject is retained, so it
+// validates and indexes like any other route but is absent from Dump.
+// This is the bulk path for internet-scale synthetic worlds, where a
+// million RPSL objects would dominate the generator's footprint.
+func (db *Database) AddRouteCompact(prefix netx.Prefix, origin uint32) error {
+	if !prefix.IsValid() {
+		return fmt.Errorf("irr: AddRouteCompact: invalid prefix %v", prefix)
+	}
+	db.routes = append(db.routes, RouteObject{Prefix: prefix, Origin: origin, Source: db.Name})
+	return nil
+}
+
 // Routes returns the parsed route objects in registration order.
 func (db *Database) Routes() []RouteObject { return db.routes }
 

@@ -247,7 +247,7 @@ func prefixInfo(snap *Snapshot, prefixText, originText string) (*PrefixInfo, err
 			IRR:          statusKey(po.IRR),
 			Conformant:   manrs.Conformant(po.RPKI, po.IRR),
 			Unconformant: manrs.Unconformant(po.RPKI, po.IRR),
-			VantagePoint: ds.Visibility[astopo.Origination{Prefix: po.Prefix, Origin: po.Origin}],
+			VantagePoint: ds.Visibility.Count(astopo.Origination{Prefix: po.Prefix, Origin: po.Origin}),
 		})
 	}
 	sort.Slice(out.Originations, func(i, j int) bool {

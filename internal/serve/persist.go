@@ -17,7 +17,6 @@ import (
 	"manrsmeter/internal/core"
 	"manrsmeter/internal/durable"
 	"manrsmeter/internal/ihr"
-	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rov"
 )
 
@@ -75,11 +74,8 @@ func (s *Store) restoreSnapshot(d *durable.SnapshotData) (*Snapshot, error) {
 		Pipeline: core.RestorePipeline(s.world, d.Date, s.workers, ds),
 		RPKI:     rpkiIx,
 		IRR:      irrIx,
-		byPrefix: make(map[netx.Prefix][]int),
 	}
-	for i, po := range ds.PrefixOrigins {
-		snap.byPrefix[po.Prefix] = append(snap.byPrefix[po.Prefix], i)
-	}
+	snap.byPrefix = buildByPrefix(ds.PrefixOrigins)
 	snap.Stats = computeStats(snap)
 	return snap, nil
 }

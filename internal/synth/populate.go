@@ -36,11 +36,14 @@ var (
 type allocator struct {
 	next13 map[rpki.RIR]uint64
 	// medium and small carving state: the current parent block and the
-	// next child index within it.
+	// next child index within it. lg13/lgIdx is the same state for the
+	// /14 blocks the ScaleLarge path hands large networks and CDNs.
 	med13  map[rpki.RIR]netx.Prefix
 	medIdx map[rpki.RIR]uint64
 	sm18   map[rpki.RIR]netx.Prefix
 	smIdx  map[rpki.RIR]uint64
+	lg13   map[rpki.RIR]netx.Prefix
+	lgIdx  map[rpki.RIR]uint64
 }
 
 func newAllocator() *allocator {
@@ -50,6 +53,8 @@ func newAllocator() *allocator {
 		medIdx: make(map[rpki.RIR]uint64),
 		sm18:   make(map[rpki.RIR]netx.Prefix),
 		smIdx:  make(map[rpki.RIR]uint64),
+		lg13:   make(map[rpki.RIR]netx.Prefix),
+		lgIdx:  make(map[rpki.RIR]uint64),
 	}
 }
 
@@ -639,7 +644,11 @@ func (w *World) OriginationsAt(t time.Time) []astopo.Origination {
 			}
 		}
 		row := out[start:]
-		sort.Slice(row, func(i, j int) bool { return row[i].Prefix.Compare(row[j].Prefix) < 0 })
+		// Arena-carved prefix lists are already in prefix order; only
+		// sort rows that need it (seed-scale random sampling).
+		if !sort.SliceIsSorted(row, func(i, j int) bool { return row[i].Prefix.Compare(row[j].Prefix) < 0 }) {
+			sort.Slice(row, func(i, j int) bool { return row[i].Prefix.Compare(row[j].Prefix) < 0 })
+		}
 	}
 	return out
 }
@@ -655,11 +664,22 @@ func (w *World) SetSnapshot(t time.Time) {
 		if a == nil {
 			continue
 		}
-		active := all[:0:0]
-		for _, p := range all {
+		// Share the full list (at ScaleLarge, the arena view) unless some
+		// prefix is actually windowed out — copying every AS's list would
+		// duplicate the whole arena.
+		active := all
+		for i, p := range all {
 			if w.active(astopo.Origination{Prefix: p, Origin: asn}, t) {
-				active = append(active, p)
+				continue
 			}
+			cp := append(all[:0:0], all[:i]...)
+			for _, q := range all[i+1:] {
+				if w.active(astopo.Origination{Prefix: q, Origin: asn}, t) {
+					cp = append(cp, q)
+				}
+			}
+			active = cp
+			break
 		}
 		a.Prefixes = active
 	}

@@ -39,6 +39,11 @@ import (
 type Config struct {
 	Seed int64
 
+	// Scale selects the realization strategy: ScaleSeed (the zero value)
+	// materializes every prefix individually; ScaleLarge switches to the
+	// arena + aggregate-registration path for internet-scale worlds.
+	Scale Scale
+
 	// Topology scale.
 	Tier1s     int // transit-free core, full mesh, all large
 	LargeISPs  int // customer degree > 180 after wiring
@@ -160,6 +165,11 @@ type World struct {
 	// PeeringDB holds each network's contact record (MANRS Action 3).
 	PeeringDB *peeringdb.Registry
 
+	// arena backs every AS's prefix list at ScaleLarge: one flat slice,
+	// with per-AS index ranges published as capacity-clamped views
+	// (shared by allPrefixes and the Graph). Nil for seed-scale worlds.
+	arena []netx.Prefix
+
 	// prefixWindows lists originations active only part of the study
 	// window (conformance-stability churn, §8.5). Missing means always.
 	prefixWindows map[astopo.Origination]window
@@ -241,10 +251,16 @@ func Generate(cfg Config) (*World, error) {
 		return nil, err
 	}
 	w.assignMembership(rng, infos)
-	alloc := newAllocator()
-	for _, info := range infos {
-		if err := w.populateAS(rng, info, alloc, irrDBs, radb); err != nil {
+	if cfg.Scale == ScaleLarge {
+		if err := w.populateLarge(rng, infos, irrDBs); err != nil {
 			return nil, err
+		}
+	} else {
+		alloc := newAllocator()
+		for _, info := range infos {
+			if err := w.populateAS(rng, info, alloc, irrDBs, radb); err != nil {
+				return nil, err
+			}
 		}
 	}
 	w.addChurn(rng, infos)

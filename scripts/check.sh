@@ -16,6 +16,13 @@
 #            persist/load), emitting one BENCH_<name>.json per result in
 #            the repo root so perf regressions can be diffed across
 #            commits
+#   memory — internet-scale gate: generate the -scale large world (~75k
+#            ASes, ~1M prefixes) and run its dataset-build/propagation
+#            benches under GOMEMLIMIT=4GiB; fails on OOM or on a >20%
+#            bytes/op regression against the committed
+#            BENCH_DatasetBuild_large.json baseline, then prints
+#            bytes/op and allocs/op deltas vs HEAD for every emitted
+#            BENCH_*.json
 #   fuzz   — short smoke of the BGP wire-format, MRT-reader, and durable
 #            archive-decoder fuzzers, so decoder regressions on
 #            malformed input surface before merge
@@ -68,14 +75,15 @@ echo "==> section-timeout chaos + goroutine-leak gates (-race)"
 go test -race -count=1 -run '^TestRunReportSectionTimeoutChaos$|^TestRunReportCancelDrains$' .
 go test -race -count=1 -run '^TestForEachCtxNoGoroutineLeak$' ./internal/parallel
 
-echo "==> bench smoke (1 iteration per headline bench) + BENCH_*.json emit"
-go test -run '^$' -benchtime 1x -benchmem \
-    -bench '^(BenchmarkDatasetBuild|BenchmarkBuildDatasetParallel|BenchmarkPropagation|BenchmarkFullReport|BenchmarkServeConformance|BenchmarkSnapshotPersist|BenchmarkSnapshotLoad)$' \
-    . | tee "$TMPDIR_SMOKE/bench.out"
+# emit_bench OUTPUT-FILE: turn `go test -bench` result lines into one
+# BENCH_<name>.json each in the repo root. The `$4 == "ns/op"` guard
+# skips the name-only lines a skipped sub-benchmark prints (e.g. the
+# MANRS_LARGE-gated benches), which would otherwise emit garbage JSON.
 BENCH_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 BENCH_DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
-awk -v date="$BENCH_DATE" -v commit="$BENCH_COMMIT" -v gover="$(go env GOVERSION)" '
-/^Benchmark/ {
+emit_bench() {
+    awk -v date="$BENCH_DATE" -v commit="$BENCH_COMMIT" -v gover="$(go env GOVERSION)" '
+/^Benchmark/ && $4 == "ns/op" {
     name = $1
     sub(/-[0-9]+$/, "", name)           # strip the GOMAXPROCS suffix
     ns = $3; bytes = "null"; allocs = "null"
@@ -96,9 +104,98 @@ END {
     if (emitted == 0) { print "bench emit: no benchmark result lines parsed" > "/dev/stderr"; exit 1 }
     printf "emitted %d BENCH_*.json files\n", emitted
 }
-' "$TMPDIR_SMOKE/bench.out"
-for f in BENCH_DatasetBuild.json BENCH_SnapshotPersist.json BENCH_SnapshotLoad.json; do
+' "$1"
+}
+
+# bench_field FILE KEY: extract an integer metric from a BENCH json.
+bench_field() {
+    sed -n 's/.*"'"$2"'": \([0-9][0-9]*\).*/\1/p' "$1"
+}
+
+echo "==> bench smoke (1 iteration per headline bench) + BENCH_*.json emit"
+go test -run '^$' -benchtime 1x -benchmem \
+    -bench '^(BenchmarkDatasetBuild|BenchmarkBuildDatasetParallel|BenchmarkPropagation|BenchmarkFullReport|BenchmarkServeConformance|BenchmarkSnapshotPersist|BenchmarkSnapshotLoad)$' \
+    . | tee "$TMPDIR_SMOKE/bench.out"
+emit_bench "$TMPDIR_SMOKE/bench.out"
+for f in BENCH_DatasetBuild_seed.json BENCH_SnapshotPersist.json BENCH_SnapshotLoad.json; do
     [ -f "$f" ] || { echo "bench emit: $f missing" >&2; exit 1; }
+done
+
+echo "==> internet-scale memory gate (GOMEMLIMIT=4GiB, ~75k ASes / ~1M prefixes)"
+# Build the -scale large world and its full dataset inside a 4 GiB soft
+# memory limit: an OOM kill or runaway GC thrash fails the gate, so the
+# compact arena/CSR layout cannot silently regress back to per-prefix
+# allocation. Runs serially (workers=1) — the worst case for peak heap.
+GOMEMLIMIT=4GiB MANRS_LARGE=1 go test -run '^$' -benchtime 1x -benchmem -timeout 45m \
+    -bench '^(BenchmarkDatasetBuild|BenchmarkPropagation)$/^large$' \
+    . | tee "$TMPDIR_SMOKE/bench-large.out"
+emit_bench "$TMPDIR_SMOKE/bench-large.out"
+[ -f BENCH_DatasetBuild_large.json ] || { echo "memory gate: BENCH_DatasetBuild_large.json missing" >&2; exit 1; }
+BASE_BYTES="$(git show HEAD:BENCH_DatasetBuild_large.json 2>/dev/null | sed -n 's/.*"bytes_per_op": \([0-9][0-9]*\).*/\1/p' || true)"
+NEW_BYTES="$(bench_field BENCH_DatasetBuild_large.json bytes_per_op)"
+if [ -n "$BASE_BYTES" ] && [ -n "$NEW_BYTES" ]; then
+    BYTES_LIMIT=$((BASE_BYTES + BASE_BYTES / 5))
+    if [ "$NEW_BYTES" -gt "$BYTES_LIMIT" ]; then
+        echo "memory gate: large dataset build allocates $NEW_BYTES bytes/op, >20% over committed baseline $BASE_BYTES" >&2
+        exit 1
+    fi
+    echo "memory gate: bytes/op $NEW_BYTES vs baseline $BASE_BYTES (limit $BYTES_LIMIT) — ok"
+else
+    echo "memory gate: no committed baseline for BENCH_DatasetBuild_large.json; this run records the first measurement"
+fi
+
+echo "==> internet-scale serve smoke (manrsd -scale large under GOMEMLIMIT=4GiB)"
+# The large world must not just build — it must answer conformance
+# queries through the real daemon inside the same memory budget. The
+# warm build runs serially for minutes; poll patiently.
+go build -o "$TMPDIR_SMOKE/manrsd" ./cmd/manrsd
+GOMEMLIMIT=4GiB "$TMPDIR_SMOKE/manrsd" -scale large -listen 127.0.0.1:0 \
+    >"$TMPDIR_SMOKE/manrsd-large.log" 2>&1 &
+MANRSD_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 1800); do
+    SERVE_ADDR="$(sed -n 's|.*serving conformance queries on http://||p' "$TMPDIR_SMOKE/manrsd-large.log")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$MANRSD_PID" 2>/dev/null || {
+        echo "large serve smoke: daemon exited early (OOM under GOMEMLIMIT?):" >&2
+        cat "$TMPDIR_SMOKE/manrsd-large.log" >&2
+        exit 1
+    }
+    sleep 1
+done
+if [ -z "$SERVE_ADDR" ]; then
+    echo "large serve smoke: daemon never started serving" >&2
+    cat "$TMPDIR_SMOKE/manrsd-large.log" >&2
+    exit 1
+fi
+LARGE_CODE="$(curl -s -o "$TMPDIR_SMOKE/large-conf.json" -w '%{http_code}' "http://$SERVE_ADDR/v1/as/100/conformance")"
+if [ "$LARGE_CODE" != 200 ]; then
+    echo "large serve smoke: conformance lookup returned $LARGE_CODE, want 200" >&2
+    cat "$TMPDIR_SMOKE/large-conf.json" >&2
+    exit 1
+fi
+grep -q '"action4"' "$TMPDIR_SMOKE/large-conf.json" || {
+    echo "large serve smoke: conformance body missing action4 verdict:" >&2
+    cat "$TMPDIR_SMOKE/large-conf.json" >&2
+    exit 1
+}
+kill -TERM "$MANRSD_PID"
+wait "$MANRSD_PID" || true
+MANRSD_PID=""
+echo "large serve smoke: conformance query answered from the ~75k-AS world"
+
+echo "==> bench deltas vs HEAD (bytes/op, allocs/op)"
+for f in BENCH_*.json; do
+    BASE_B="$(git show HEAD:"$f" 2>/dev/null | sed -n 's/.*"bytes_per_op": \([0-9][0-9]*\).*/\1/p' || true)"
+    BASE_A="$(git show HEAD:"$f" 2>/dev/null | sed -n 's/.*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' || true)"
+    NEW_B="$(bench_field "$f" bytes_per_op)"
+    NEW_A="$(bench_field "$f" allocs_per_op)"
+    if [ -z "$BASE_B" ] || [ -z "$BASE_A" ] || [ -z "$NEW_B" ] || [ -z "$NEW_A" ]; then
+        echo "  $f: no committed baseline"
+        continue
+    fi
+    printf '  %s: bytes/op %s -> %s (%+d), allocs/op %s -> %s (%+d)\n' \
+        "$f" "$BASE_B" "$NEW_B" "$((NEW_B - BASE_B))" "$BASE_A" "$NEW_A" "$((NEW_A - BASE_A))"
 done
 
 echo "==> fuzz smoke (${FUZZTIME} per target)"
