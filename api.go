@@ -25,6 +25,7 @@ package manrsmeter
 
 import (
 	"context"
+	"time"
 
 	"manrsmeter/internal/core"
 	"manrsmeter/internal/ihr"
@@ -32,6 +33,7 @@ import (
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/rov"
 	"manrsmeter/internal/rpki"
+	"manrsmeter/internal/scenario"
 	"manrsmeter/internal/serve"
 	"manrsmeter/internal/synth"
 )
@@ -199,4 +201,48 @@ func NewSnapshotStore(w *World, opts SnapshotStoreOptions) *SnapshotStore {
 //	addr, err := srv.Listen("127.0.0.1:0")
 func NewQueryServer(store *SnapshotStore, opts QueryServerOptions) *QueryServer {
 	return serve.NewServer(store, opts)
+}
+
+// Adversarial scenario engine: deterministic data-plane fault
+// injection with measured graceful degradation — see DESIGN.md,
+// "Adversarial scenarios".
+type (
+	// Scenario is an ordered adversarial event list (hijack ROAs,
+	// expired chains, relying-party failure, anchor pairs, ROA delay).
+	Scenario = scenario.Scenario
+	// ScenarioResult compares a degraded fork against its baseline.
+	ScenarioResult = scenario.Result
+	// ScenarioOptions parameterize RunScenario.
+	ScenarioOptions = scenario.Options
+)
+
+// ScenarioNames lists the builtin adversarial scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuiltinScenario derives the named builtin scenario from w as of
+// date (zero date: the world's headline date).
+func BuiltinScenario(name string, w *World, date time.Time) (*Scenario, error) {
+	if date.IsZero() {
+		date = w.Date(w.Config.EndYear)
+	}
+	return scenario.Builtin(name, w, date)
+}
+
+// DecodeScenario parses a scenario from its text or JSON encoding.
+func DecodeScenario(data []byte) (*Scenario, error) { return scenario.Decode(data) }
+
+// RunScenario applies sc to a copy-on-write fork of w and measures the
+// degradation against the untouched baseline. The base world is never
+// mutated and may keep serving queries concurrently.
+func RunScenario(ctx context.Context, w *World, sc *Scenario, opts ScenarioOptions) (*ScenarioResult, error) {
+	return scenario.Run(ctx, w, sc, opts)
+}
+
+// ApplyScenario forks w and applies sc without measuring, returning
+// the mutated fork (what synthgen -scenario writes archives from).
+func ApplyScenario(w *World, sc *Scenario, date time.Time) (*World, error) {
+	if date.IsZero() {
+		date = w.Date(w.Config.EndYear)
+	}
+	return scenario.Apply(w, sc, date)
 }

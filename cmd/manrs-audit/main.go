@@ -10,6 +10,15 @@
 //	synthgen -out data/
 //	manrs-audit -data data/ [-asn 64500] [-unconformant-only]
 //
+// With -scenario NAME (no -data needed) it instead generates a world,
+// injects the named adversarial scenario — as0-hijack, expired-certs,
+// rp-failure, anchor-pairs, roa-delay, or a scenario file via
+// -scenario-file — into a copy-on-write fork, and prints the measured
+// degradation against the untouched baseline, ending in the health
+// trailer:
+//
+//	manrs-audit -scenario as0-hijack [-seed 8] [-scale seed|large] [-workers N]
+//
 // With -admin ADDR an observability endpoint serves /metrics, /healthz
 // and /debug/pprof/ for the duration of the audit. Bind it to
 // loopback: it carries no authentication.
@@ -29,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"manrsmeter"
 	"manrsmeter/internal/astopo"
 	"manrsmeter/internal/bgp/mrt"
 	"manrsmeter/internal/ihr"
@@ -47,9 +57,14 @@ func main() {
 	asnFlag := flag.Uint("asn", 0, "audit only this AS")
 	unconfOnly := flag.Bool("unconformant-only", false, "print only unconformant participants")
 	asOfFlag := flag.String("asof", "2022-05-01", "evaluation date for freshness checks (YYYY-MM-DD)")
+	scenName := flag.String("scenario", "", "run a builtin adversarial scenario against a generated world (see -scenario list)")
+	scenFile := flag.String("scenario-file", "", "run a scenario decoded from this file (text or JSON encoding)")
+	seed := flag.Int64("seed", 8, "generator seed for -scenario mode")
+	scale := flag.String("scale", "seed", "generator preset for -scenario mode: seed|large")
+	workers := flag.Int("workers", 0, "dataset build parallelism for -scenario mode (<=0: one per CPU)")
 	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
-	if *dataDir == "" {
+	if *dataDir == "" && *scenName == "" && *scenFile == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -67,6 +82,11 @@ func main() {
 			defer cancel()
 			_ = adminEP.Shutdown(sctx)
 		}()
+	}
+
+	if *scenName != "" || *scenFile != "" {
+		runScenario(*scenName, *scenFile, *seed, *scale, *workers)
+		return
 	}
 
 	// 1. Topology (CAIDA as-rel).
@@ -164,6 +184,51 @@ func main() {
 		printRow(part, m, a4, a1, a3)
 	}
 	fmt.Printf("\naudited %d participants, %d unconformant\n", audited, unconf)
+}
+
+// runScenario is the -scenario mode: generate a world, inject the
+// adversarial scenario into a copy-on-write fork, and print the
+// measured degradation vs the untouched baseline.
+func runScenario(name, file string, seed int64, scale string, workers int) {
+	if name == "list" {
+		for _, n := range manrsmeter.ScenarioNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	cfg := manrsmeter.DefaultConfig(seed)
+	if scale == "large" {
+		cfg = manrsmeter.LargeConfig(seed)
+	} else if scale != "seed" {
+		log.Fatalf("bad -scale %q: want seed or large", scale)
+	}
+	log.Printf("generating world (seed %d, scale %s)", seed, scale)
+	world, err := manrsmeter.GenerateWorld(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var sc *manrsmeter.Scenario
+	if file != "" {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sc, err = manrsmeter.DecodeScenario(data); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		if sc, err = manrsmeter.BuiltinScenario(name, world, time.Time{}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := manrsmeter.RunScenario(context.Background(), world, sc,
+		manrsmeter.ScenarioOptions{Workers: workers})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
 }
 
 func mustOpen(dir, name string, fn func(*os.File) error) {

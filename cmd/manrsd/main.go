@@ -26,7 +26,15 @@
 //	GET /v1/stats                  ecosystem aggregates, RPKI saturation
 //	GET /v1/report                 the renderable report sections
 //	GET /v1/report/{section}       one rendered section
+//	GET /v1/scenario               the builtin adversarial scenarios
+//	GET /v1/scenario/{name}        degradation vs baseline for one scenario
 //	GET /healthz                   liveness (200 even while warming)
+//
+// The /v1/scenario routes run the adversarial scenario engine against
+// a copy-on-write fork of the served snapshot: relying-party failure,
+// hijack ROAs, expired chains, anchor-pair experiments, ROA delay. A
+// degraded ecosystem is a successful answer — rp-failure returns 200
+// with health.degraded=true, never a 5xx.
 //
 // SIGINT/SIGTERM drain in-flight requests for up to -drain before
 // force-closing; a second signal kills the process via the restored

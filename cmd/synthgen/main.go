@@ -33,6 +33,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	scale := flag.String("scale", "small", "world scale: small | full | large (internet-scale, ~75k ASes / ~1M prefixes)")
 	out := flag.String("out", "synth-data", "output directory")
+	scenName := flag.String("scenario", "", "inject a builtin adversarial scenario before writing archives (as0-hijack, expired-certs, rp-failure, anchor-pairs, roa-delay)")
+	scenFile := flag.String("scenario-file", "", "inject a scenario decoded from this file (text or JSON encoding)")
 	flag.Parse()
 
 	cfg := manrsmeter.DefaultConfig(*seed)
@@ -49,6 +51,29 @@ func main() {
 	world, err := synth.Generate(cfg)
 	if err != nil {
 		log.Fatalf("generate: %v", err)
+	}
+	if *scenName != "" || *scenFile != "" {
+		// Archives are then written from the mutated fork: the hijack
+		// ROAs land in vrps.csv, injected announcements in the MRT RIB,
+		// and a failed relying party's VRPs vanish — downstream tools
+		// (manrs-audit) see the degraded world.
+		var sc *manrsmeter.Scenario
+		if *scenFile != "" {
+			data, err := os.ReadFile(*scenFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if sc, err = manrsmeter.DecodeScenario(data); err != nil {
+				log.Fatal(err)
+			}
+		} else if sc, err = manrsmeter.BuiltinScenario(*scenName, world, world.Date(cfg.EndYear)); err != nil {
+			log.Fatal(err)
+		}
+		world, err = manrsmeter.ApplyScenario(world, sc, world.Date(cfg.EndYear))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("injected scenario %s (%d events)", sc.Name, len(sc.Events))
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)

@@ -60,6 +60,8 @@ func QuerySections() []QuerySection {
 			plain(func(p *Pipeline) string { return p.Fig9Preference().Render() })},
 		{"action3", "Extension — Action 3 coordination",
 			plain(func(p *Pipeline) string { return p.Action3().Render() })},
+		{"scenarios", "Adversarial scenarios — measured degradation",
+			func(ctx context.Context, p *Pipeline) (string, error) { return p.RenderScenarios(ctx) }},
 	}
 }
 

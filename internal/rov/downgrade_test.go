@@ -1,0 +1,124 @@
+package rov
+
+import (
+	"testing"
+
+	"manrsmeter/internal/netx"
+)
+
+// The scenario engine's RP-failure invariant: when a relying party fails
+// and its VRPs drop out of the index, a route that classified Invalid
+// may degrade to NotFound (its covering authorizations vanished) or
+// stay Invalid, but it must never flip to Valid. Removing an
+// authorization can only remove evidence; Valid requires positive
+// evidence that removal cannot create.
+func TestDowngradeNeverInvalidToValid(t *testing.T) {
+	auths := []Authorization{
+		{Prefix: netx.MustParsePrefix("10.0.0.0/8"), ASN: 64500, MaxLength: 16},
+		{Prefix: netx.MustParsePrefix("10.1.0.0/16"), ASN: 64501, MaxLength: 16},
+		{Prefix: netx.MustParsePrefix("10.2.0.0/16"), ASN: 64500, MaxLength: 24},
+		{Prefix: netx.MustParsePrefix("192.0.2.0/24"), ASN: 0, MaxLength: 24}, // AS0: everything invalid
+		{Prefix: netx.MustParsePrefix("2001:db8::/32"), ASN: 64502, MaxLength: 48},
+	}
+	routes := []struct {
+		prefix string
+		origin uint32
+	}{
+		{"10.1.0.0/16", 64500},   // InvalidASN under /16 auth, Valid under /8 auth alone
+		{"10.1.128.0/17", 64501}, // InvalidLength under full set
+		{"10.2.0.0/28", 64500},   // InvalidLength (beyond /24 max)
+		{"192.0.2.0/24", 64505},  // InvalidASN vs AS0
+		{"10.0.0.0/12", 64500},   // Valid
+		{"172.16.0.0/16", 64500}, // NotFound throughout
+		{"2001:db8::/48", 64503}, // InvalidASN (v6)
+	}
+
+	build := func(mask uint) *Index {
+		ix := NewIndex()
+		for i, a := range auths {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if err := ix.Add(a); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ix
+	}
+
+	full := build(1<<len(auths) - 1)
+	// Exhaustively remove every subset of authorizations and check each
+	// route's transition against the degradation table.
+	for mask := uint(0); mask < 1<<len(auths); mask++ {
+		degraded := build(mask)
+		for _, r := range routes {
+			p := netx.MustParsePrefix(r.prefix)
+			before := full.Validate(p, r.origin)
+			after := degraded.Validate(p, r.origin)
+			if before.IsInvalid() && after == Valid {
+				t.Fatalf("route %s AS%d: %v -> %v after removing auth subset %b — Invalid flipped to Valid",
+					r.prefix, r.origin, before, after, ^mask&(1<<len(auths)-1))
+			}
+			if before == NotFound && after != NotFound {
+				t.Fatalf("route %s AS%d: %v -> %v after removal — removal cannot create coverage",
+					r.prefix, r.origin, before, after)
+			}
+		}
+	}
+}
+
+// TestDowngradeTransitions pins the exact transition for each route when
+// one specific relying party's VRP set drops (the auths it contributed
+// disappear together), mirroring how the scenario engine removes a
+// whole RIR's VRPs at once.
+func TestDowngradeTransitions(t *testing.T) {
+	// "RIR A" contributes the 10/8 tree, "RIR B" the 192.0.2.0/24 AS0 auth.
+	rirA := []Authorization{
+		{Prefix: netx.MustParsePrefix("10.0.0.0/8"), ASN: 64500, MaxLength: 16},
+		{Prefix: netx.MustParsePrefix("10.1.0.0/16"), ASN: 64501, MaxLength: 16},
+	}
+	rirB := []Authorization{
+		{Prefix: netx.MustParsePrefix("192.0.2.0/24"), ASN: 0, MaxLength: 24},
+	}
+	build := func(sets ...[]Authorization) *Index {
+		ix := NewIndex()
+		for _, set := range sets {
+			for _, a := range set {
+				if err := ix.Add(a); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return ix
+	}
+	full := build(rirA, rirB)
+	noB := build(rirA)
+	noA := build(rirB)
+
+	cases := []struct {
+		name          string
+		prefix        string
+		origin        uint32
+		before        Status
+		afterBFailure Status // RIR B's VRPs gone
+		afterAFailure Status // RIR A's VRPs gone
+	}{
+		{"hijacked AS0 prefix", "192.0.2.0/24", 64505, InvalidASN, NotFound, InvalidASN},
+		{"wrong origin in 10/8", "10.1.0.0/16", 64507, InvalidASN, InvalidASN, NotFound},
+		{"too specific", "10.1.128.0/17", 64501, InvalidLength, InvalidLength, NotFound},
+		{"valid stays valid", "10.0.0.0/12", 64500, Valid, Valid, NotFound},
+		{"uncovered", "172.16.0.0/16", 64500, NotFound, NotFound, NotFound},
+	}
+	for _, tc := range cases {
+		p := netx.MustParsePrefix(tc.prefix)
+		if got := full.Validate(p, tc.origin); got != tc.before {
+			t.Errorf("%s: full set: got %v want %v", tc.name, got, tc.before)
+		}
+		if got := noB.Validate(p, tc.origin); got != tc.afterBFailure {
+			t.Errorf("%s: after RIR B failure: got %v want %v", tc.name, got, tc.afterBFailure)
+		}
+		if got := noA.Validate(p, tc.origin); got != tc.afterAFailure {
+			t.Errorf("%s: after RIR A failure: got %v want %v", tc.name, got, tc.afterAFailure)
+		}
+	}
+}

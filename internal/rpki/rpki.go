@@ -13,12 +13,14 @@
 package rpki
 
 import (
+	"bufio"
 	"crypto/ed25519"
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 
 	"manrsmeter/internal/netx"
@@ -237,6 +239,30 @@ func (r *Repository) NumCerts() int { return len(r.certs) }
 // NumROAs returns the number of published ROAs.
 func (r *Repository) NumROAs() int { return len(r.roas) }
 
+// ROAs returns the published ROAs in publication order. The slice is
+// shared with the repository; callers must treat it as read-only.
+func (r *Repository) ROAs() []*ROA { return r.roas }
+
+// Certs returns the published certificates in publication order. The
+// slice is shared with the repository; callers must treat it as
+// read-only.
+func (r *Repository) Certs() []*Certificate { return r.certs }
+
+// ReplaceROA swaps the i'th published ROA in place. Scenario forks use
+// it to re-home ROAs under a different (e.g. expired) issuing CA
+// without perturbing publication order.
+func (r *Repository) ReplaceROA(i int, roa *ROA) { r.roas[i] = roa }
+
+// Clone returns a repository with independent publication lists sharing
+// the (immutable) published objects, so a derived world can publish and
+// replace objects without mutating the original.
+func (r *Repository) Clone() *Repository {
+	return &Repository{
+		certs: append([]*Certificate(nil), r.certs...),
+		roas:  append([]*ROA(nil), r.roas...),
+	}
+}
+
 // VRP is a Validated ROA Payload: one authorization extracted from a ROA
 // whose chain validated.
 type VRP struct {
@@ -265,6 +291,13 @@ type RelyingParty struct {
 	// Now is the evaluation time for validity windows. The zero value
 	// means time.Now() at Run.
 	Now time.Time
+	// ROAVisibilityLag models the management-plane delay between ROA
+	// creation and relying-party visibility (publication, fetch, and
+	// validation run cadence): a ROA is invisible until
+	// NotBefore+ROAVisibilityLag even though its own validity window
+	// already contains the evaluation time. Zero means publication is
+	// instantaneous, the historical behavior.
+	ROAVisibilityLag time.Duration
 }
 
 // NewRelyingParty returns a relying party trusting the given anchors.
@@ -306,22 +339,44 @@ func (rp *RelyingParty) Run(repo *Repository) ([]VRP, ValidationStats) {
 		bySubject[c.SubjectName] = append(bySubject[c.SubjectName], c)
 	}
 
-	memo := make(map[*Certificate]bool)
-	var validCert func(c *Certificate, depth int) bool
-	validCert = func(c *Certificate, depth int) bool {
-		if v, ok := memo[c]; ok {
-			return v
+	// Chain validation memo. Three settled states plus a "visiting"
+	// marker for cycle breaking. A rejection derived while an ancestor
+	// was still being visited is provisional — the ancestor may yet
+	// validate through a different candidate issuer — so only settled
+	// verdicts are cached. Without this, the verdict for a certificate
+	// inside a renewal/cross-signing diamond depended on repository
+	// publication order: an expired sibling evaluated first could poison
+	// a genuinely valid chain into permanent rejection (and with it every
+	// dependent ROA). Unsettled rejections are re-derived on later
+	// queries; the depth cap bounds the re-walk.
+	const (
+		certVisiting = iota + 1
+		certValid
+		certInvalid
+	)
+	state := make(map[*Certificate]uint8)
+	var validCert func(c *Certificate, depth int) (valid, settled bool)
+	validCert = func(c *Certificate, depth int) (bool, bool) {
+		switch state[c] {
+		case certValid:
+			return true, true
+		case certInvalid:
+			return false, true
+		case certVisiting:
+			// Cycle: this path fails, but the verdict is not settled —
+			// the certificate may validate through another chain.
+			return false, false
 		}
 		if depth > 32 { // defensive: no real chain is this deep
-			return false
+			return false, false
 		}
-		memo[c] = false // break cycles pessimistically
-		ok := func() bool {
+		state[c] = certVisiting
+		valid, settled := func() (bool, bool) {
 			if now.Before(c.NotBefore) || now.After(c.NotAfter) {
-				return false
+				return false, true
 			}
 			if anchor, isAnchor := rp.anchors[c.SubjectName]; isAnchor && anchor == c {
-				return ed25519.Verify(c.PublicKey, c.payload(), c.Signature)
+				return ed25519.Verify(c.PublicKey, c.payload(), c.Signature), true
 			}
 			// Find a valid issuer: trust anchor first, then published CAs.
 			var issuers []*Certificate
@@ -329,11 +384,16 @@ func (rp *RelyingParty) Run(repo *Repository) ([]VRP, ValidationStats) {
 				issuers = append(issuers, a)
 			}
 			issuers = append(issuers, bySubject[c.IssuerName]...)
+			settled := true
 			for _, iss := range issuers {
 				if iss == c {
 					continue
 				}
-				if !validCert(iss, depth+1) {
+				issValid, issSettled := validCert(iss, depth+1)
+				if !issValid {
+					if !issSettled {
+						settled = false
+					}
 					continue
 				}
 				if !ed25519.Verify(iss.PublicKey, c.payload(), c.Signature) {
@@ -347,23 +407,38 @@ func (rp *RelyingParty) Run(repo *Repository) ([]VRP, ValidationStats) {
 					}
 				}
 				if covered {
-					return true
+					return true, true
 				}
 			}
-			return false
+			return false, settled
 		}()
-		memo[c] = ok
-		return ok
+		switch {
+		case valid:
+			state[c] = certValid
+		case settled:
+			state[c] = certInvalid
+		default:
+			delete(state, c) // provisional rejection: leave open for re-derivation
+		}
+		return valid, settled
+	}
+	certOK := func(c *Certificate) bool {
+		valid, _ := validCert(c, 0)
+		return valid
 	}
 
 	// Anchors validate themselves.
 	for _, a := range rp.anchors {
-		memo[a] = ed25519.Verify(a.PublicKey, a.payload(), a.Signature) &&
-			!now.Before(a.NotBefore) && !now.After(a.NotAfter)
+		if ed25519.Verify(a.PublicKey, a.payload(), a.Signature) &&
+			!now.Before(a.NotBefore) && !now.After(a.NotAfter) {
+			state[a] = certValid
+		} else {
+			state[a] = certInvalid
+		}
 	}
 
 	for _, c := range repo.certs {
-		if validCert(c, 0) {
+		if certOK(c) {
 			stats.CertsValid++
 		} else {
 			stats.CertsRejected++
@@ -372,7 +447,7 @@ func (rp *RelyingParty) Run(repo *Repository) ([]VRP, ValidationStats) {
 
 	var vrps []VRP
 	for _, roa := range repo.roas {
-		if rp.validROA(roa, now, bySubject, validCert) {
+		if rp.validROA(roa, now, bySubject, certOK) {
 			stats.ROAsValid++
 			for _, p := range roa.Prefixes {
 				vrps = append(vrps, VRP{Prefix: p.Prefix, ASN: roa.ASN, MaxLength: p.MaxLength})
@@ -393,9 +468,12 @@ func (rp *RelyingParty) Run(repo *Repository) ([]VRP, ValidationStats) {
 	return vrps, stats
 }
 
-func (rp *RelyingParty) validROA(roa *ROA, now time.Time, bySubject map[string][]*Certificate, validCert func(*Certificate, int) bool) bool {
+func (rp *RelyingParty) validROA(roa *ROA, now time.Time, bySubject map[string][]*Certificate, certOK func(*Certificate) bool) bool {
 	if now.Before(roa.NotBefore) || now.After(roa.NotAfter) {
 		return false
+	}
+	if rp.ROAVisibilityLag > 0 && now.Before(roa.NotBefore.Add(rp.ROAVisibilityLag)) {
+		return false // created, but not yet visible to this relying party
 	}
 	var signers []*Certificate
 	if a, ok := rp.anchors[roa.SignerName]; ok {
@@ -403,7 +481,7 @@ func (rp *RelyingParty) validROA(roa *ROA, now time.Time, bySubject map[string][
 	}
 	signers = append(signers, bySubject[roa.SignerName]...)
 	for _, signer := range signers {
-		if !validCert(signer, 0) {
+		if !certOK(signer) {
 			continue
 		}
 		if !ed25519.Verify(signer.PublicKey, roa.payload(), roa.Signature) {
@@ -454,36 +532,80 @@ func WriteVRPCSV(w io.Writer, vrps []VRP) error {
 	return nil
 }
 
+// Parsing limits for ReadVRPCSV. VRP archives come over the network
+// from relying parties and mirrors; a malformed or hostile archive must
+// produce an explicit error, never unbounded memory growth.
+const (
+	// MaxVRPCSVLine is the longest accepted line in bytes. Real rows are
+	// well under 200 bytes.
+	MaxVRPCSVLine = 4096
+	// MaxVRPCSVFields is the most comma-separated fields accepted per
+	// line. The format defines six.
+	MaxVRPCSVFields = 64
+	// MaxVRPCSVRows caps the number of data rows per archive. The global
+	// RPKI publishes ~500k VRPs; 8M leaves an order of magnitude of
+	// headroom while bounding a decompression-bomb-style feed.
+	MaxVRPCSVRows = 8 << 20
+)
+
 // ReadVRPCSV parses the archive format written by WriteVRPCSV (and, for
-// the columns we use, RIPE's real archives).
+// the columns we use, RIPE's real archives). Input is read as a stream
+// and validated strictly: lines over MaxVRPCSVLine bytes, rows with
+// fewer than 4 or more than MaxVRPCSVFields fields, non-numeric ASN or
+// max-length tokens, max lengths outside [prefix length, address
+// family bits], and archives over MaxVRPCSVRows rows are all explicit
+// errors naming the offending line.
 func ReadVRPCSV(r io.Reader) ([]VRP, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, err
-	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxVRPCSVLine)
 	var vrps []VRP
-	lines := splitLines(string(data))
-	for i, line := range lines {
-		if i == 0 || line == "" { // header or trailing blank
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if len(line) > 0 && line[len(line)-1] == '\r' {
+			line = line[:len(line)-1]
+		}
+		if lineNo == 1 || line == "" { // header or blank
 			continue
+		}
+		if len(vrps) >= MaxVRPCSVRows {
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: more than %d rows", lineNo, MaxVRPCSVRows)
 		}
 		fields := splitCSV(line)
 		if len(fields) < 4 {
-			return nil, fmt.Errorf("rpki: VRP CSV line %d: want >=4 fields, got %d", i+1, len(fields))
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: want >=4 fields, got %d", lineNo, len(fields))
+		}
+		if len(fields) > MaxVRPCSVFields {
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: %d fields exceeds cap %d", lineNo, len(fields), MaxVRPCSVFields)
 		}
 		asn, err := parseASNToken(fields[1])
 		if err != nil {
-			return nil, fmt.Errorf("rpki: VRP CSV line %d: %w", i+1, err)
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: %w", lineNo, err)
 		}
 		p, err := netx.ParsePrefix(fields[2])
 		if err != nil {
-			return nil, fmt.Errorf("rpki: VRP CSV line %d: %w", i+1, err)
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: %w", lineNo, err)
 		}
-		var maxLen int
-		if _, err := fmt.Sscanf(fields[3], "%d", &maxLen); err != nil {
-			return nil, fmt.Errorf("rpki: VRP CSV line %d: bad max length %q", i+1, fields[3])
+		maxLen, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: bad max length %q", lineNo, fields[3])
+		}
+		famBits := 32
+		if p.Is6() {
+			famBits = 128
+		}
+		if maxLen < p.Bits() || maxLen > famBits {
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: max length %d outside [%d,%d] for %s",
+				lineNo, maxLen, p.Bits(), famBits, p)
 		}
 		vrps = append(vrps, VRP{Prefix: p, ASN: asn, MaxLength: maxLen})
+	}
+	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("rpki: VRP CSV line %d: line exceeds %d bytes", lineNo+1, MaxVRPCSVLine)
+		}
+		return nil, err
 	}
 	return vrps, nil
 }
@@ -492,30 +614,11 @@ func parseASNToken(s string) (uint32, error) {
 	if len(s) > 2 && (s[0] == 'A' || s[0] == 'a') && (s[1] == 'S' || s[1] == 's') {
 		s = s[2:]
 	}
-	var asn uint32
-	if _, err := fmt.Sscanf(s, "%d", &asn); err != nil {
+	asn, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
 		return 0, fmt.Errorf("bad ASN %q", s)
 	}
-	return asn, nil
-}
-
-func splitLines(s string) []string {
-	var out []string
-	start := 0
-	for i := 0; i < len(s); i++ {
-		if s[i] == '\n' {
-			line := s[start:i]
-			if len(line) > 0 && line[len(line)-1] == '\r' {
-				line = line[:len(line)-1]
-			}
-			out = append(out, line)
-			start = i + 1
-		}
-	}
-	if start < len(s) {
-		out = append(out, s[start:])
-	}
-	return out
+	return uint32(asn), nil
 }
 
 func splitCSV(s string) []string {

@@ -1,0 +1,94 @@
+// Scenario routes: GET /v1/scenario lists the builtin adversarial
+// scenarios; GET /v1/scenario/{name} runs one against the resolved
+// snapshot and serves the degradation comparison. A degraded ecosystem
+// is a successful answer here — relying-party failure returns 200 with
+// health.degraded=true, never a 5xx — which is the contract the
+// check.sh smoke asserts.
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"manrsmeter/internal/scenario"
+)
+
+// ScenarioIndex is the GET /v1/scenario response.
+type ScenarioIndex struct {
+	AsOf      string   `json:"as_of"`
+	Snapshot  string   `json:"snapshot"`
+	Scenarios []string `json:"scenarios"`
+}
+
+// ScenarioResponse is the GET /v1/scenario/{name} response: the full
+// engine result (baseline/scenario summaries, transition matrix,
+// optional anchor-pair inference, health trailer) plus the rendered
+// text report.
+type ScenarioResponse struct {
+	AsOf     string           `json:"as_of"`
+	Snapshot string           `json:"snapshot"`
+	Result   *scenario.Result `json:"result"`
+	Rendered string           `json:"rendered"`
+}
+
+func scenarioIndex(snap *Snapshot) *ScenarioIndex {
+	return &ScenarioIndex{
+		AsOf:      snap.Date.Format("2006-01-02"),
+		Snapshot:  snap.Version,
+		Scenarios: scenario.Names(),
+	}
+}
+
+func scenarioRun(ctx context.Context, snap *Snapshot, name string) (*ScenarioResponse, error) {
+	res, err := snap.ScenarioResult(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResponse{
+		AsOf:     snap.Date.Format("2006-01-02"),
+		Snapshot: snap.Version,
+		Result:   res,
+		Rendered: res.Render(),
+	}, nil
+}
+
+// ScenarioResult runs the named builtin scenario against this
+// snapshot, memoizing per snapshot (results are deterministic per
+// version). Unknown names are a 404, not a server error.
+func (s *Snapshot) ScenarioResult(ctx context.Context, name string) (*scenario.Result, error) {
+	known := false
+	for _, n := range scenario.Names() {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, errf(http.StatusNotFound, "unknown scenario %q (GET /v1/scenario lists them)", name)
+	}
+	s.scenMu.Lock()
+	if res, ok := s.scenResults[name]; ok {
+		s.scenMu.Unlock()
+		return res, nil
+	}
+	s.scenMu.Unlock()
+
+	// Run outside the lock: scenario builds take seconds, and holding
+	// scenMu across them would serialize unrelated scenario queries.
+	// A concurrent duplicate run is wasted work, not a correctness
+	// problem — both produce the identical result.
+	res, err := s.Pipeline.RunScenario(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	s.scenMu.Lock()
+	defer s.scenMu.Unlock()
+	if prev, ok := s.scenResults[name]; ok {
+		return prev, nil
+	}
+	if s.scenResults == nil {
+		s.scenResults = make(map[string]*scenario.Result, len(scenario.Names()))
+	}
+	s.scenResults[name] = res
+	return res, nil
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// GET /v1/scenario/rp-failure must answer 200 with the degraded-health
+// field set — graceful degradation is a successful response, never a
+// 5xx. This is the serving-layer acceptance criterion for the
+// adversarial scenario engine.
+func TestScenarioRPFailureDegradesGracefully(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	rec := get(h, "/v1/scenario/rp-failure", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	resp := decode[ScenarioResponse](t, rec)
+	if resp.Result == nil {
+		t.Fatal("missing result")
+	}
+	if !resp.Result.Health.Degraded {
+		t.Fatalf("health.degraded must be true: %+v", resp.Result.Health)
+	}
+	if resp.Result.Health.VRPsDropped == 0 {
+		t.Fatal("RP failure must drop VRPs")
+	}
+	if resp.Result.Health.InvalidToValidFlips != 0 {
+		t.Fatalf("invariant violated over HTTP: %+v", resp.Result.Health)
+	}
+	if !strings.Contains(resp.Rendered, "status=degraded") {
+		t.Fatalf("rendered report must carry the degraded trailer:\n%s", resp.Rendered)
+	}
+
+	// Memoized on the snapshot: the second hit is served from the
+	// response cache with a matching ETag (standard route contract).
+	etag := rec.Header().Get("ETag")
+	if etag == "" {
+		t.Fatal("missing ETag")
+	}
+	rec2 := get(h, "/v1/scenario/rp-failure", map[string]string{"If-None-Match": etag})
+	if rec2.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status %d, want 304", rec2.Code)
+	}
+}
+
+func TestScenarioIndexAndUnknown(t *testing.T) {
+	_, srv, _ := newTestServer(t, Options{})
+	h := srv.Handler()
+
+	rec := get(h, "/v1/scenario", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("index status %d: %s", rec.Code, rec.Body.String())
+	}
+	idx := decode[ScenarioIndex](t, rec)
+	if len(idx.Scenarios) != 5 {
+		t.Fatalf("want 5 builtin scenarios, got %v", idx.Scenarios)
+	}
+
+	rec = get(h, "/v1/scenario/nope", nil)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown scenario: status %d, want 404: %s", rec.Code, rec.Body.String())
+	}
+}

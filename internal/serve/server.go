@@ -136,6 +136,8 @@ func (s *Server) Handler() http.Handler {
 			"GET /v1/stats\n"+
 			"GET /v1/report\n"+
 			"GET /v1/report/{section}\n"+
+			"GET /v1/scenario\n"+
+			"GET /v1/scenario/{name}\n"+
 			"All /v1 routes accept ?date=YYYY-MM-DD (default: the headline date).\n")
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +171,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/report/{section}", s.route("report_section",
 		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
 			return reportSection(ctx, snap, r.PathValue("section"))
+		}))
+	mux.HandleFunc("GET /v1/scenario", s.route("scenario_index",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return scenarioIndex(snap), nil
+		}))
+	mux.HandleFunc("GET /v1/scenario/{name}", s.route("scenario",
+		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
+			return scenarioRun(ctx, snap, r.PathValue("name"))
 		}))
 	return mux
 }

@@ -24,6 +24,7 @@ import (
 	"manrsmeter/internal/netx"
 	"manrsmeter/internal/obsv"
 	"manrsmeter/internal/rov"
+	"manrsmeter/internal/scenario"
 	"manrsmeter/internal/synth"
 )
 
@@ -54,6 +55,14 @@ type Snapshot struct {
 	// slice costs 4 bytes/row where the map it replaced cost ~100 —
 	// material at a million originations.
 	byPrefix []int32
+
+	// scenMu guards scenResults, the lazy per-snapshot cache of
+	// adversarial scenario runs (GET /v1/scenario/{name}). Results are
+	// deterministic per snapshot version, so caching them preserves the
+	// ETag contract; the baseline side of each run reuses the world's
+	// own dataset cache.
+	scenMu      sync.Mutex
+	scenResults map[string]*scenario.Result
 }
 
 // rowsFor returns the PrefixOrigins row indexes announcing p, ascending.

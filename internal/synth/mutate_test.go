@@ -1,0 +1,168 @@
+package synth
+
+import (
+	"testing"
+	"time"
+
+	"manrsmeter/internal/netx"
+	"manrsmeter/internal/rpki"
+)
+
+func mutateTestWorld(t *testing.T) *World {
+	t.Helper()
+	cfg := NewConfig(11)
+	cfg.Tier1s, cfg.LargeISPs, cfg.MediumISPs, cfg.SmallASes, cfg.CDNs = 3, 3, 20, 120, 4
+	cfg.MANRSSmall, cfg.MANRSMedium, cfg.MANRSLarge, cfg.MANRSCDNs = 15, 6, 2, 2
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// A fork absorbs mutations without the base world observing any of
+// them: originations, ROAs, RP failures, and dataset caches all stay
+// isolated, and the fingerprints diverge.
+func TestForkIsolation(t *testing.T) {
+	w := mutateTestWorld(t)
+	asOf := w.Date(w.Config.EndYear)
+	baseOrigs := w.OriginationsAt(asOf)
+	baseVRPs, err := w.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseFP := w.Fingerprint()
+
+	f := w.Fork("iso-test")
+	if f.Fingerprint() == baseFP {
+		t.Fatal("forked fingerprint must diverge from base")
+	}
+	if f.Scenario() != "iso-test" {
+		t.Fatalf("Scenario() = %q", f.Scenario())
+	}
+
+	victim := baseOrigs[0].Origin
+	hijack := netx.MustParsePrefix("198.51.100.0/24")
+	if err := f.AddOrigination(victim, hijack); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.PublishROA(rpki.RIPE, 0, []rpki.ROAPrefix{{Prefix: netx.MustParsePrefix("50.0.0.0/8"), MaxLength: 8}},
+		w.Date(2011), w.Date(2040)); err != nil {
+		t.Fatal(err)
+	}
+	f.FailRelyingParty(rpki.ARIN)
+	f.SetROAVisibilityLag(time.Hour)
+	if got := f.Mutations(); got != 4 {
+		t.Fatalf("Mutations() = %d want 4", got)
+	}
+
+	// The fork sees its own changes...
+	forkOrigs := f.OriginationsAt(asOf)
+	if len(forkOrigs) != len(baseOrigs)+1 {
+		t.Fatalf("fork originations %d, want base+1 = %d", len(forkOrigs), len(baseOrigs)+1)
+	}
+	forkVRPs, err := f.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forkVRPs) >= len(baseVRPs) {
+		t.Fatalf("ARIN RP failure must shrink the VRP set: base %d, fork %d", len(baseVRPs), len(forkVRPs))
+	}
+	if got := f.FailedRPs(); len(got) != 1 || got[0] != rpki.ARIN {
+		t.Fatalf("FailedRPs() = %v", got)
+	}
+
+	// ...and the base world sees none of them.
+	if got := w.OriginationsAt(asOf); len(got) != len(baseOrigs) {
+		t.Fatalf("base originations changed: %d -> %d", len(baseOrigs), len(got))
+	}
+	again, err := w.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(baseVRPs) {
+		t.Fatalf("base VRPs changed: %d -> %d", len(baseVRPs), len(again))
+	}
+	if w.Fingerprint() != baseFP {
+		t.Fatal("base fingerprint changed")
+	}
+	if w.Mutations() != 0 || w.Scenario() != "" {
+		t.Fatal("base world absorbed scenario state")
+	}
+
+	// Diff helper reports exactly the injected announcement.
+	diff := f.ScenarioOriginations(w)
+	if len(diff) != 1 || diff[0].Origin != victim || diff[0].Prefix != hijack {
+		t.Fatalf("ScenarioOriginations = %v", diff)
+	}
+}
+
+// Datasets built on a fork must not leak into the base's date-keyed
+// cache (and vice versa): the two worlds disagree about the same date.
+func TestForkDatasetCacheIsolation(t *testing.T) {
+	w := mutateTestWorld(t)
+	asOf := w.Date(w.Config.EndYear)
+	baseDS, err := w.DatasetAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := w.Fork("cache-test")
+	f.FailRelyingParty(rpki.RIPE)
+	f.FailRelyingParty(rpki.ARIN)
+	forkDS, err := f.DatasetAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forkDS == baseDS {
+		t.Fatal("fork returned the base's cached dataset")
+	}
+	again, err := w.DatasetAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != baseDS {
+		t.Fatal("base cache entry evicted or replaced by fork build")
+	}
+}
+
+// RehomeROAs moves the selected fraction onto the delegated CA and,
+// with an expired CA window, drops exactly those VRPs.
+func TestRehomeROAsExpiry(t *testing.T) {
+	w := mutateTestWorld(t)
+	asOf := w.Date(w.Config.EndYear)
+	baseVRPs, err := w.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := w.Fork("expire-test")
+	// CA valid 2011→2020: fine when issued, expired at the 2022 eval.
+	moved, err := f.RehomeROAs(rpki.RIPE, 0.5, w.Date(2011), w.Date(2020))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("expected some RIPE ROAs to move")
+	}
+	forkVRPs, err := f.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forkVRPs) >= len(baseVRPs) {
+		t.Fatalf("expired re-homed chains must drop VRPs: base %d, fork %d", len(baseVRPs), len(forkVRPs))
+	}
+	// A second fork with a still-valid CA keeps every VRP: re-homing
+	// alone is behavior-preserving.
+	g := w.Fork("rehome-valid")
+	if _, err := g.RehomeROAs(rpki.RIPE, 0.5, w.Date(2011), w.Date(2040)); err != nil {
+		t.Fatal(err)
+	}
+	keptVRPs, err := g.VRPsAt(asOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keptVRPs) != len(baseVRPs) {
+		t.Fatalf("valid re-homing changed VRP count: base %d, got %d", len(baseVRPs), len(keptVRPs))
+	}
+}

@@ -690,6 +690,12 @@ func (w *World) SetSnapshot(t time.Time) {
 func (w *World) VRPsAt(t time.Time) ([]rpki.VRP, error) {
 	anchors := make([]*rpki.Certificate, 0, len(w.Anchors))
 	for _, r := range rpki.AllRIRs {
+		if w.failedRPs[r] {
+			// The relying party for this trust anchor has failed
+			// (scenario injection): its VRPs drop out entirely, and
+			// verdicts under it degrade Invalid/Valid → NotFound.
+			continue
+		}
 		anchors = append(anchors, w.Anchors[r].Cert)
 	}
 	rp, err := rpki.NewRelyingParty(anchors...)
@@ -697,6 +703,7 @@ func (w *World) VRPsAt(t time.Time) ([]rpki.VRP, error) {
 		return nil, err
 	}
 	rp.Now = t
+	rp.ROAVisibilityLag = w.roaLag
 	vrps, _ := rp.Run(w.Repo)
 	return vrps, nil
 }

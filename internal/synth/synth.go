@@ -182,6 +182,20 @@ type World struct {
 	dsMu    sync.Mutex
 	dsCache map[int64]*ihr.Dataset
 	dsDates []int64 // insertion order, for bounded eviction
+
+	// Scenario state (internal/scenario mutation API, set via Fork and
+	// the mutators in mutate.go). A pristine generated world has the
+	// zero values; a forked world carries the scenario tag plus every
+	// mutation it absorbed, and its Fingerprint diverges accordingly.
+	scenarioTag string
+	mutations   int
+	// failedRPs marks trust anchors whose relying party has failed: their
+	// VRPs vanish from VRPsAt, degrading dependent verdicts toward
+	// NotFound.
+	failedRPs map[rpki.RIR]bool
+	// roaLag delays ROA visibility (rov-timing management-plane delay):
+	// a ROA is invisible to the relying party until NotBefore+roaLag.
+	roaLag time.Duration
 }
 
 type window struct{ from, to time.Time }
@@ -285,6 +299,12 @@ func (w *World) Date(year int) time.Time {
 func (w *World) Fingerprint() string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", w.Config)
+	if w.scenarioTag != "" {
+		// A scenario fork is a different world: same config, mutated
+		// data plane. Tag and mutation count keep forked snapshots from
+		// colliding with the baseline in version-keyed caches.
+		fmt.Fprintf(h, "|scenario=%s|muts=%d", w.scenarioTag, w.mutations)
+	}
 	return fmt.Sprintf("w%016x", h.Sum64())
 }
 

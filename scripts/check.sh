@@ -9,8 +9,10 @@
 #            chaos suites driving each daemon through injected faults),
 #            then an explicit pass over the failure-semantics gates:
 #            the section-timeout chaos test (every report section
-#            stalled past its watchdog) and the parallel-pool
-#            goroutine-leak test
+#            stalled past its watchdog), the parallel-pool
+#            goroutine-leak test, and the adversarial scenario suite
+#            (relying-party-failure chaos with concurrent baseline
+#            readers, byte-determinism across worker counts)
 #   bench  — single-iteration smoke of the headline benchmarks (dataset
 #            build, propagation, full report, serving hot path, snapshot
 #            persist/load), emitting one BENCH_<name>.json per result in
@@ -23,17 +25,20 @@
 #            BENCH_DatasetBuild_large.json baseline, then prints
 #            bytes/op and allocs/op deltas vs HEAD for every emitted
 #            BENCH_*.json
-#   fuzz   — short smoke of the BGP wire-format, MRT-reader, and durable
-#            archive-decoder fuzzers, so decoder regressions on
-#            malformed input surface before merge
+#   fuzz   — short smoke of the BGP wire-format, MRT-reader, durable
+#            archive-decoder, VRP-CSV, and scenario-codec fuzzers, so
+#            decoder regressions on malformed input surface before
+#            merge
 #   admin  — end-to-end smoke of the observability endpoint: start a
 #            collector with -admin, curl /healthz and /metrics, and
 #            assert the expected metric families are exposed
 #   manrsd — end-to-end smoke of the query daemon: start it on a small
 #            synthetic world, query a conformance lookup twice (200
-#            then 304 via the captured ETag), assert the coalesce and
-#            cache-hit series appear on /metrics, and SIGTERM-drain
-#            cleanly
+#            then 304 via the captured ETag), query the adversarial
+#            scenario route /v1/scenario/rp-failure and assert it
+#            answers 200 with "degraded": true (graceful degradation,
+#            never a 5xx), assert the coalesce and cache-hit series
+#            appear on /metrics, and SIGTERM-drain cleanly
 #   crash  — crash-recovery smoke: run manrsd with -data-dir until it
 #            archives a snapshot, SIGKILL it, restart over the same
 #            directory, and assert the daemon warm-starts from the
@@ -74,6 +79,9 @@ go test -race ./...
 echo "==> section-timeout chaos + goroutine-leak gates (-race)"
 go test -race -count=1 -run '^TestRunReportSectionTimeoutChaos$|^TestRunReportCancelDrains$' .
 go test -race -count=1 -run '^TestForEachCtxNoGoroutineLeak$' ./internal/parallel
+
+echo "==> adversarial scenario gates (-race): rp-failure chaos + byte determinism"
+go test -race -count=1 ./internal/scenario
 
 # emit_bench OUTPUT-FILE: turn `go test -bench` result lines into one
 # BENCH_<name>.json each in the repo root. The `$4 == "ns/op"` guard
@@ -203,6 +211,8 @@ go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzDecodeAttributes$' -fuzztime "$FUZZTIME" ./internal/bgp/wire
 go test -run '^$' -fuzz '^FuzzReadAll$' -fuzztime "$FUZZTIME" ./internal/bgp/mrt
 go test -run '^$' -fuzz '^FuzzDecodeArchive$' -fuzztime "$FUZZTIME" ./internal/durable
+go test -run '^$' -fuzz '^FuzzReadVRPCSV$' -fuzztime "$FUZZTIME" ./internal/rpki
+go test -run '^$' -fuzz '^FuzzDecode$' -fuzztime "$FUZZTIME" ./internal/scenario
 
 echo "==> admin endpoint smoke (collector -admin)"
 go build -o "$TMPDIR_SMOKE/collector" ./cmd/collector
@@ -306,6 +316,27 @@ if [ "$REVAL_CODE" != 304 ]; then
     echo "manrsd smoke: If-None-Match revalidation returned $REVAL_CODE, want 304" >&2
     exit 1
 fi
+# Adversarial scenario route: a degraded ecosystem is a successful
+# answer. Failing the RIPE relying party must come back as 200 with
+# the degraded-health field set — a 5xx here means the daemon fell
+# over instead of degrading.
+SCEN_CODE="$(curl -s -o "$TMPDIR_SMOKE/scenario.json" -w '%{http_code}' \
+    "http://$SERVE_ADDR/v1/scenario/rp-failure")"
+if [ "$SCEN_CODE" != 200 ]; then
+    echo "manrsd smoke: /v1/scenario/rp-failure returned $SCEN_CODE, want 200 (degradation must not 5xx)" >&2
+    cat "$TMPDIR_SMOKE/scenario.json" >&2
+    exit 1
+fi
+grep -q '"degraded": true' "$TMPDIR_SMOKE/scenario.json" || {
+    echo "manrsd smoke: scenario response missing degraded-health field:" >&2
+    cat "$TMPDIR_SMOKE/scenario.json" >&2
+    exit 1
+}
+grep -q '"invalid_to_valid_flips": 0' "$TMPDIR_SMOKE/scenario.json" || {
+    echo "manrsd smoke: RP failure flipped Invalid to Valid (downgrade invariant violated):" >&2
+    cat "$TMPDIR_SMOKE/scenario.json" >&2
+    exit 1
+}
 # The serving metrics must be exposed on the admin endpoint.
 curl -s -o "$TMPDIR_SMOKE/manrsd.metrics" "http://$MANRSD_ADMIN/metrics"
 for metric in serve_snapshot_builds_total serve_snapshot_coalesced_total \
