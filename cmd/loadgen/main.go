@@ -1,0 +1,188 @@
+// Command loadgen drives a running manrsd with a seeded, reproducible
+// workload and reports the SLO latency trajectory: p50/p90/p99/p99.9,
+// throughput, shed rate, error rate, and 304 revalidation rate.
+//
+// Usage:
+//
+//	loadgen -base http://127.0.0.1:8180 [-seed N] [-workers N]
+//	        [-requests N] [-warmup-requests N] [-duration D] [-qps R]
+//	        [-ramp D] [-mix as=40,prefix=25,stats=15,report=10,scenario=10]
+//	        [-asn-base N] [-asn-count N] [-zipf-s S] [-zipf-v V]
+//	        [-revalidate P] [-timeout D]
+//	        [-bench-out FILE] [-bench-name NAME]
+//	        [-slo-p99 D] [-max-5xx N]
+//
+// The workload is a pure function of -seed (closed loop): the same
+// flags issue the same multiset of URLs with the same traceparent IDs,
+// so a run is a benchmark, not an anecdote. -qps switches to open loop
+// (Poisson arrivals), where latency is measured from the scheduled
+// arrival — queueing delay is charged to the server, not hidden.
+//
+// Every request carries a W3C traceparent; the first trace ID is
+// printed so it can be grepped in manrsd's access log and span tree.
+//
+// Exit status: 0 on success; 1 on usage or transport-level failure to
+// run at all; 3 when -slo-p99 is set and the measured p99 exceeds it;
+// 4 when -max-5xx is set and server errors (5xx excluding 503 shed,
+// plus transport errors) exceed it.
+//
+// With -bench-out the run is also recorded as a BENCH_*.json document
+// (integer fields, rates in parts-per-million) compatible with the
+// repository's benchmark tooling; the commit recorded is $BENCH_COMMIT
+// when set.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"manrsmeter/internal/loadgen"
+)
+
+// parseMix reads "as=40,prefix=25,stats=15,report=10,scenario=10";
+// omitted routes get weight zero, an empty string means the default.
+func parseMix(s string) (loadgen.RouteMix, error) {
+	if s == "" {
+		return loadgen.DefaultMix, nil
+	}
+	var m loadgen.RouteMix
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return m, fmt.Errorf("bad mix element %q: want route=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad mix weight %q", part)
+		}
+		switch key {
+		case "as":
+			m.AS = w
+		case "prefix":
+			m.Prefix = w
+		case "stats":
+			m.Stats = w
+		case "report":
+			m.Report = w
+		case "scenario":
+			m.Scenario = w
+		default:
+			return m, fmt.Errorf("unknown mix route %q (want as, prefix, stats, report, scenario)", key)
+		}
+	}
+	return m, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	base := flag.String("base", "http://127.0.0.1:8180", "manrsd base URL")
+	seed := flag.Int64("seed", 1, "workload seed; same seed, same requests")
+	workers := flag.Int("workers", 8, "concurrent workers (closed loop: offered load; open loop: in-flight cap)")
+	requests := flag.Int("requests", 1000, "measured request budget (ignored with -duration)")
+	warmup := flag.Int("warmup-requests", 0, "requests issued before measurement starts (cache fill, snapshot build)")
+	duration := flag.Duration("duration", 0, "measured wall time instead of a request budget")
+	qps := flag.Float64("qps", 0, "open-loop Poisson arrival rate (0 = closed loop)")
+	ramp := flag.Duration("ramp", 0, "closed-loop stagger between worker starts")
+	mixFlag := flag.String("mix", "", "route weights, e.g. as=40,prefix=25,stats=15,report=10,scenario=10")
+	asnBase := flag.Int("asn-base", 100, "first ASN of the synthetic world")
+	asnCount := flag.Int("asn-count", 1000, "ASN population to draw from")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf exponent s (> 1); larger = hotter head")
+	zipfV := flag.Float64("zipf-v", 1, "zipf offset v (≥ 1)")
+	revalidate := flag.Float64("revalidate", 0.25, "probability a known URL is re-requested with If-None-Match")
+	timeout := flag.Duration("timeout", 15*time.Second, "per-request deadline")
+	benchOut := flag.String("bench-out", "", "write the machine-readable BENCH json here")
+	benchName := flag.String("bench-name", "LoadgenServeLatency", "name field of the BENCH json")
+	sloP99 := flag.Duration("slo-p99", 0, "fail (exit 3) when measured p99 exceeds this")
+	max5xx := flag.Int64("max-5xx", -1, "fail (exit 4) when server errors exceed this (-1 = no gate; 503 shed excluded)")
+	flag.Parse()
+
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	cfg := loadgen.Config{
+		BaseURL:        strings.TrimRight(*base, "/"),
+		Seed:           *seed,
+		Workers:        *workers,
+		Ramp:           *ramp,
+		WarmupRequests: *warmup,
+		Requests:       *requests,
+		Duration:       *duration,
+		QPS:            *qps,
+		Mix:            mix,
+		ASNBase:        *asnBase,
+		ASNCount:       *asnCount,
+		ZipfS:          *zipfS,
+		ZipfV:          *zipfV,
+		Revalidate:     *revalidate,
+		Timeout:        *timeout,
+	}
+	mode := "closed"
+	if *qps > 0 {
+		mode = fmt.Sprintf("open @ %.0f qps", *qps)
+	}
+	log.Printf("driving %s: %d workers, %s loop, seed %d", cfg.BaseURL, cfg.Workers, mode, cfg.Seed)
+
+	start := time.Now()
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil && res == nil {
+		log.Fatal(err)
+	}
+	if err != nil {
+		log.Printf("interrupted after %v: %v", time.Since(start).Round(time.Millisecond), err)
+	}
+	if res.Measured == 0 {
+		log.Fatal("no measured requests completed")
+	}
+	res.WriteSummary(os.Stdout)
+
+	if *benchOut != "" {
+		commit := os.Getenv("BENCH_COMMIT")
+		if commit == "" {
+			commit = "unknown"
+		}
+		doc := res.Bench(*benchName, commit, runtime.Version(), time.Now())
+		body, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("encode bench json: %v", err)
+		}
+		if err := os.WriteFile(*benchOut, append(body, '\n'), 0o644); err != nil {
+			log.Fatalf("write %s: %v", *benchOut, err)
+		}
+		log.Printf("bench record written to %s", *benchOut)
+	}
+
+	exit := 0
+	if *sloP99 > 0 {
+		p99 := time.Duration(res.Hist.Quantile(0.99) * float64(time.Second))
+		if p99 > *sloP99 {
+			log.Printf("SLO VIOLATION: p99 %v > budget %v", p99.Round(time.Microsecond), *sloP99)
+			exit = 3
+		} else {
+			log.Printf("SLO ok: p99 %v ≤ budget %v", p99.Round(time.Microsecond), *sloP99)
+		}
+	}
+	if *max5xx >= 0 {
+		if bad := res.ServerErrors + res.Errors; bad > *max5xx {
+			log.Printf("ERROR BUDGET EXCEEDED: %d server/transport errors > %d allowed (shed 503s excluded: %d)",
+				bad, *max5xx, res.Shed)
+			exit = 4
+		}
+	}
+	os.Exit(exit)
+}

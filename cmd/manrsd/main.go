@@ -10,6 +10,7 @@
 //	       [-workers N] [-max-inflight N] [-request-timeout D]
 //	       [-build-timeout D] [-refresh D] [-no-warm] [-drain D]
 //	       [-admin 127.0.0.1:9180] [-data-dir DIR] [-snap-budget BYTES]
+//	       [-access-log-sample N] [-trace-cap N]
 //
 // With -data-dir DIR every successfully built snapshot is archived to
 // DIR (checksummed, written atomically) and a restarted daemon
@@ -36,11 +37,20 @@
 // degraded ecosystem is a successful answer — rp-failure returns 200
 // with health.degraded=true, never a 5xx.
 //
+// Every request is correlated end to end: a W3C traceparent header is
+// honored (or minted) per request, echoed in the response, recorded on
+// the request span, and written to the sampled key=value access log on
+// stderr (-access-log-sample N logs 1-in-N; server errors always log).
+// -trace-cap bounds the retained span tree, so tracing stays on in
+// long-running daemons.
+//
 // SIGINT/SIGTERM drain in-flight requests for up to -drain before
 // force-closing; a second signal kills the process via the restored
 // default handler. With -admin ADDR the observability endpoint serves
-// /metrics (request latency per route, in-flight, shed/coalesce/cache
-// counters), /healthz (snapshot publication state) and /debug/pprof/.
+// /metrics (request latency per route, RED summaries, runtime gauges,
+// GC pause quantiles), /healthz (snapshot publication state),
+// /debug/pprof/, /debug/trace (the span tree) and /debug/latency
+// (live p50/p90/p99/p99.9 per route).
 package main
 
 import (
@@ -74,6 +84,8 @@ func main() {
 	drain := flag.Duration("drain", 5*time.Second, "bound on draining in-flight requests at shutdown; whatever remains is force-closed")
 	dataDir := flag.String("data-dir", "", "directory for durable snapshot archives; restarts warm-start from the last known-good archive (empty = no persistence)")
 	snapBudget := flag.Int64("snap-budget", durable.DefaultMaxBytes, "retention budget in bytes for the -data-dir archive directory")
+	accessLogSample := flag.Int("access-log-sample", serve.DefaultAccessLogSample, "access-log head sampling: log 1-in-N requests (server errors always logged); 1 logs every request, 0 the default")
+	traceCap := flag.Int("trace-cap", 4096, "bound on retained request spans for /debug/trace; 0 disables request tracing")
 	adminEP := obsv.AdminFlag(nil)
 	flag.Parse()
 
@@ -116,9 +128,20 @@ func main() {
 		Durable:      dstore,
 		Logf:         log.Printf,
 	})
+	// The bounded tracer and the sampled access log are the two halves
+	// of request correlation: a traceparent injected by a client (or
+	// loadgen) is greppable in the access log and visible in the span
+	// tree at /debug/trace under the same trace ID.
+	var tracer *obsv.Tracer
+	if *traceCap > 0 {
+		tracer = obsv.NewBoundedTracer(*traceCap)
+	}
 	srv := serve.NewServer(store, serve.Options{
-		MaxInFlight:    *maxInFlight,
-		RequestTimeout: *requestTimeout,
+		MaxInFlight:     *maxInFlight,
+		RequestTimeout:  *requestTimeout,
+		Tracer:          tracer,
+		AccessLog:       obsv.NewLogger(os.Stderr, obsv.LevelInfo).With("access"),
+		AccessLogSample: *accessLogSample,
 		Logf: func(format string, args ...any) {
 			serveLog.Error(fmt.Sprintf(format, args...))
 		},
@@ -160,10 +183,17 @@ func main() {
 	}
 	log.Printf("serving conformance queries on http://%s", addr)
 
-	if adminAddr, err := adminEP.Start(func() obsv.Health {
-		detail := store.Status()
-		detail["ready"] = fmt.Sprint(store.Ready())
-		return obsv.Health{OK: store.Ready(), Detail: detail}
+	adminLog := obsv.NewLogger(os.Stderr, obsv.LevelInfo).With("admin")
+	if adminAddr, err := adminEP.StartAdmin(&obsv.Admin{
+		Tracer: tracer,
+		Healthz: func() obsv.Health {
+			detail := store.Status()
+			detail["ready"] = fmt.Sprint(store.Ready())
+			return obsv.Health{OK: store.Ready(), Detail: detail}
+		},
+		Logf: func(format string, args ...any) {
+			adminLog.Error(fmt.Sprintf(format, args...))
+		},
 	}); err != nil {
 		log.Fatalf("admin endpoint: %v", err)
 	} else if adminAddr != nil {

@@ -1,0 +1,225 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+// stubServer mimics manrsd's /v1 surface: 200+ETag for known routes,
+// 304 on a matching If-None-Match, configurable failures per path
+// prefix — and records every request for determinism checks.
+type stubServer struct {
+	mu       sync.Mutex
+	urls     []string
+	traces   []string
+	badTrace int
+	fail     map[string]int // path prefix → status to answer
+}
+
+func (s *stubServer) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.urls = append(s.urls, r.URL.RequestURI())
+		tp := r.Header.Get("traceparent")
+		if tc, ok := obsv.ParseTraceParent(tp); ok {
+			s.traces = append(s.traces, tc.TraceIDString())
+		} else {
+			s.badTrace++
+		}
+		var failCode int
+		for prefix, code := range s.fail {
+			if strings.HasPrefix(r.URL.Path, prefix) {
+				failCode = code
+			}
+		}
+		s.mu.Unlock()
+
+		if failCode != 0 {
+			http.Error(w, "stub failure", failCode)
+			return
+		}
+		etag := fmt.Sprintf(`"%s"`, r.URL.Path)
+		w.Header().Set("Etag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+}
+
+func (s *stubServer) snapshot() (urls, traces []string, bad int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	urls = append([]string(nil), s.urls...)
+	traces = append([]string(nil), s.traces...)
+	return urls, traces, s.badTrace
+}
+
+func runAgainst(t *testing.T, stub *stubServer, cfg Config) *Result {
+	t.Helper()
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+	cfg.BaseURL = ts.URL
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestDeterministicWorkload is the reproducibility contract: the same
+// seed and budgets issue the same multiset of URLs and the same first
+// trace ID, run to run.
+func TestDeterministicWorkload(t *testing.T) {
+	cfg := Config{Seed: 42, Workers: 4, WarmupRequests: 40, Requests: 200, Revalidate: 0.3}
+
+	stub1 := &stubServer{}
+	res1 := runAgainst(t, stub1, cfg)
+	stub2 := &stubServer{}
+	res2 := runAgainst(t, stub2, cfg)
+
+	urls1, traces1, bad1 := stub1.snapshot()
+	urls2, traces2, bad2 := stub2.snapshot()
+	if bad1 != 0 || bad2 != 0 {
+		t.Fatalf("malformed traceparents: %d, %d", bad1, bad2)
+	}
+	sort.Strings(urls1)
+	sort.Strings(urls2)
+	if strings.Join(urls1, "\n") != strings.Join(urls2, "\n") {
+		t.Error("same seed issued different URL multisets")
+	}
+	sort.Strings(traces1)
+	sort.Strings(traces2)
+	if strings.Join(traces1, "\n") != strings.Join(traces2, "\n") {
+		t.Error("same seed minted different trace IDs")
+	}
+	if res1.FirstTrace == "" || res1.FirstTrace != res2.FirstTrace {
+		t.Errorf("first trace not reproducible: %q vs %q", res1.FirstTrace, res2.FirstTrace)
+	}
+	// The zipfian model must concentrate: the hottest URL appears far
+	// more often than a uniform draw would allow.
+	counts := map[string]int{}
+	for _, u := range urls1 {
+		counts[u]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if uniform := len(urls1) / len(counts); max < 3*uniform {
+		t.Errorf("hottest URL seen %d times over %d distinct (uniform ≈ %d): popularity not zipfian", max, len(counts), uniform)
+	}
+}
+
+// TestWarmupExcluded checks warmup requests hit the server but stay
+// out of the histogram and measured counts.
+func TestWarmupExcluded(t *testing.T) {
+	stub := &stubServer{}
+	res := runAgainst(t, stub, Config{Seed: 1, Workers: 4, WarmupRequests: 40, Requests: 100})
+
+	if res.Requests != 140 {
+		t.Errorf("issued %d, want 140 (warmup + measured)", res.Requests)
+	}
+	if res.Measured != 100 {
+		t.Errorf("measured %d, want 100", res.Measured)
+	}
+	if res.Hist.Count() != 100 {
+		t.Errorf("histogram holds %d, want the 100 measured only", res.Hist.Count())
+	}
+	urls, _, _ := stub.snapshot()
+	if len(urls) != 140 {
+		t.Errorf("server saw %d requests, want 140", len(urls))
+	}
+	if res.QPS <= 0 {
+		t.Error("QPS not computed")
+	}
+}
+
+// TestStatusAccounting drives the failure taxonomies: 503 is shed (not
+// a server error), other 5xx are, 304 is a revalidation.
+func TestStatusAccounting(t *testing.T) {
+	stub := &stubServer{fail: map[string]int{
+		"/v1/scenario": http.StatusInternalServerError,
+		"/v1/report":   http.StatusServiceUnavailable,
+	}}
+	res := runAgainst(t, stub, Config{
+		Seed: 7, Workers: 2, Requests: 400, Revalidate: 0.5,
+		Mix: RouteMix{Stats: 50, Report: 25, Scenario: 25},
+	})
+
+	if res.Shed == 0 {
+		t.Error("no 503s accounted as shed")
+	}
+	if res.ServerErrors == 0 {
+		t.Error("no 500s accounted as server errors")
+	}
+	if res.ServerErrors+res.Shed+res.ByStatus[200]+res.NotModified != res.Measured {
+		t.Errorf("status accounting leak: 5xx=%d shed=%d ok=%d 304=%d of %d",
+			res.ServerErrors, res.Shed, res.ByStatus[200], res.NotModified, res.Measured)
+	}
+	if res.NotModified == 0 {
+		t.Error("revalidation never produced a 304")
+	}
+	if res.ByRoute["stats"] == 0 || res.ByRoute["report_index"] == 0 {
+		t.Errorf("route accounting empty: %v", res.ByRoute)
+	}
+}
+
+// TestOpenLoop checks the Poisson arrival mode completes its budget
+// and measures from the scheduled arrival.
+func TestOpenLoop(t *testing.T) {
+	stub := &stubServer{}
+	res := runAgainst(t, stub, Config{
+		Seed: 3, Workers: 4, WarmupRequests: 20, Requests: 100, QPS: 2000,
+	})
+	if res.Measured != 100 {
+		t.Errorf("measured %d, want 100", res.Measured)
+	}
+	if res.Hist.Count() != 100 {
+		t.Errorf("histogram holds %d, want 100", res.Hist.Count())
+	}
+	if res.FirstTrace == "" {
+		t.Error("open loop lost the first trace")
+	}
+}
+
+// TestBenchJSON pins the machine-readable record: integer fields only,
+// rates in ppm, quantiles in nanoseconds.
+func TestBenchJSON(t *testing.T) {
+	stub := &stubServer{fail: map[string]int{"/v1/report": http.StatusServiceUnavailable}}
+	res := runAgainst(t, stub, Config{
+		Seed: 9, Workers: 2, Requests: 200,
+		Mix: RouteMix{Stats: 75, Report: 25},
+	})
+	b := res.Bench("LoadgenServeLatency", "abc1234", "go1.24.0", time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC))
+	if b.P50NS <= 0 || b.P99NS < b.P50NS || b.P999NS < b.P99NS {
+		t.Errorf("quantiles not ordered: p50=%d p99=%d p999=%d", b.P50NS, b.P99NS, b.P999NS)
+	}
+	if b.Requests != 200 {
+		t.Errorf("requests = %d, want 200", b.Requests)
+	}
+	if b.ShedPPM == 0 {
+		t.Error("shed rate lost")
+	}
+	if b.ShedPPM > 1_000_000 {
+		t.Errorf("shed ppm out of range: %d", b.ShedPPM)
+	}
+	if b.Error5xxPPM != 0 {
+		t.Errorf("503 counted as 5xx error: %d ppm", b.Error5xxPPM)
+	}
+	if b.Commit != "abc1234" || b.Date != "2026-08-07T00:00:00Z" {
+		t.Errorf("metadata wrong: %+v", b)
+	}
+}

@@ -23,11 +23,12 @@ type Health struct {
 // Admin is the opt-in observability endpoint every daemon can serve
 // behind its -admin flag:
 //
-//	/metrics       Prometheus text exposition of Registry
-//	/healthz       200 "ok" / 503 "degraded" from Healthz, plus detail
-//	/debug/pprof/  the standard pprof handlers
-//	/debug/vars    expvar JSON
-//	/debug/trace   the Tracer's span tree, when a tracer is attached
+//	/metrics        Prometheus text exposition of Registry
+//	/healthz        200 "ok" / 503 "degraded" from Healthz, plus detail
+//	/debug/pprof/   the standard pprof handlers
+//	/debug/vars     expvar JSON
+//	/debug/trace    the Tracer's span tree, when a tracer is attached
+//	/debug/latency  live p50/p90/p99/p999 of every registered summary
 //
 // Configure the exported fields before Listen. The endpoint carries no
 // authentication — bind it to loopback (or a trusted management
@@ -66,7 +67,7 @@ func (a *Admin) Handler() http.Handler {
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprint(w, "manrsmeter admin endpoint\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n/debug/trace\n")
+		fmt.Fprint(w, "manrsmeter admin endpoint\n/metrics\n/healthz\n/debug/pprof/\n/debug/vars\n/debug/trace\n/debug/latency\n")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -107,6 +108,13 @@ func (a *Admin) Handler() http.Handler {
 		}
 		_ = a.Tracer.WriteTree(w)
 	})
+	mux.HandleFunc("/debug/latency", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = a.registry().WriteLatency(w)
+	})
+	// Runtime series (goroutines, heap, GC pause quantiles) come free
+	// with every admin endpoint; they refresh at scrape time.
+	EnableRuntimeMetrics(a.registry())
 	return mux
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // metricKind discriminates the three metric families.
@@ -27,6 +28,7 @@ const (
 	kindCounter metricKind = iota
 	kindGauge
 	kindHistogram
+	kindSummary
 )
 
 func (k metricKind) String() string {
@@ -35,6 +37,8 @@ func (k metricKind) String() string {
 		return "counter"
 	case kindGauge:
 		return "gauge"
+	case kindSummary:
+		return "summary"
 	default:
 		return "histogram"
 	}
@@ -183,6 +187,7 @@ type metric struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	q      *QuantileHistogram
 }
 
 // family carries the per-name metadata shared by every labeled child.
@@ -199,6 +204,10 @@ type Registry struct {
 	mu       sync.RWMutex
 	families map[string]*family
 	metrics  map[string]*metric // key: name + rendered labels
+	// hooks run at the top of WritePrometheus (scrape time) so
+	// collectors that sample external state — the runtime collector —
+	// can refresh their gauges only when someone is looking.
+	hooks []func()
 }
 
 // NewRegistry returns an empty registry.
@@ -278,6 +287,8 @@ func (r *Registry) register(name, help string, kind metricKind, buckets []float6
 		m.g = new(Gauge)
 	case kindHistogram:
 		m.h = newHistogram(fam.buckets)
+	case kindSummary:
+		m.q = NewLatencyQuantiles()
 	}
 	r.metrics[key] = m
 	return m
@@ -300,6 +311,28 @@ func (r *Registry) Gauge(name, help string, kv ...string) *Gauge {
 // registration of the name.
 func (r *Registry) Histogram(name, help string, buckets []float64, kv ...string) *Histogram {
 	return r.register(name, help, kindHistogram, buckets, kv).h
+}
+
+// Summary is Counter for QuantileHistograms, exported in the Prometheus
+// summary format with the SLOQuantiles (p50/p90/p99/p999). Summaries
+// use the latency defaults (100ns..300s, ±2%); observe seconds.
+func (r *Registry) Summary(name, help string, kv ...string) *QuantileHistogram {
+	return r.register(name, help, kindSummary, nil, kv).q
+}
+
+// NewSummary registers a summary on the Default registry.
+func NewSummary(name, help string, kv ...string) *QuantileHistogram {
+	return Default().Summary(name, help, kv...)
+}
+
+// OnScrape registers f to run at the top of every WritePrometheus
+// call, before the metric snapshot is taken. Scrape hooks let samplers
+// of external state (runtime stats, say) pay their cost only when a
+// scrape is actually looking.
+func (r *Registry) OnScrape(f func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, f)
+	r.mu.Unlock()
 }
 
 // NewCounter registers a counter on the Default registry.
@@ -361,6 +394,13 @@ func injectLabel(labels, k, v string) string {
 // exposition format (version 0.0.4), families sorted by name and
 // series sorted by label string, so output is deterministic.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	hooks := make([]func(), len(r.hooks))
+	copy(hooks, r.hooks)
+	r.mu.RUnlock()
+	for _, f := range hooks {
+		f()
+	}
 	metrics := r.sortedMetrics()
 	lastFamily := ""
 	for _, m := range metrics {
@@ -393,9 +433,33 @@ func writeSeries(w io.Writer, m *metric) error {
 	case m.g != nil:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatValue(m.g.Value()))
 		return err
+	case m.q != nil:
+		q := m.q
+		vals := q.Quantiles(SLOQuantiles...)
+		for i, qv := range SLOQuantiles {
+			ql := injectLabel(m.labels, "quantile", formatValue(qv))
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", m.name, ql, formatValue(vals[i])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatValue(q.Sum())); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, q.Count())
+		return err
 	default:
 		h := m.h
 		cum := h.snapshot()
+		// The exported sample count: buckets are read before the total,
+		// so a concurrent Observe (which increments its bucket first)
+		// can leave the last cumulative bucket ahead of Count. Taking
+		// the max keeps the +Inf bucket monotone over the le series and
+		// exactly equal to _count, the agreement Prometheus-side
+		// histogram_quantile math depends on.
+		total := h.Count()
+		if len(cum) > 0 && cum[len(cum)-1] > total {
+			total = cum[len(cum)-1]
+		}
 		for i, upper := range h.uppers {
 			le := injectLabel(m.labels, "le", formatValue(upper))
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, cum[i]); err != nil {
@@ -403,13 +467,13 @@ func writeSeries(w io.Writer, m *metric) error {
 			}
 		}
 		le := injectLabel(m.labels, "le", "+Inf")
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, h.Count()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, le, total); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, m.labels, formatValue(h.Sum())); err != nil {
 			return err
 		}
-		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, h.Count())
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, total)
 		return err
 	}
 }
@@ -425,6 +489,9 @@ func (r *Registry) Dump() string {
 			fmt.Fprintf(&b, "%s%s %d\n", m.name, m.labels, m.c.Value())
 		case m.g != nil:
 			fmt.Fprintf(&b, "%s%s %s\n", m.name, m.labels, formatValue(m.g.Value()))
+		case m.q != nil:
+			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, m.q.Count())
+			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, formatValue(m.q.Sum()))
 		default:
 			fmt.Fprintf(&b, "%s_count%s %d\n", m.name, m.labels, m.h.Count())
 			fmt.Fprintf(&b, "%s_sum%s %s\n", m.name, m.labels, formatValue(m.h.Sum()))
@@ -450,7 +517,49 @@ func (r *Registry) Value(name string, kv ...string) int64 {
 		return m.c.Value()
 	case m.g != nil:
 		return int64(m.g.Value())
+	case m.q != nil:
+		return m.q.Count()
 	default:
 		return m.h.Count()
+	}
+}
+
+// WriteLatency renders every registered summary as one line of live
+// quantiles — "name{labels} count=N p50=… p90=… p99=… p999=…" with
+// human-readable durations — the admin /debug/latency view. Summaries
+// observe seconds, so the rendering assumes seconds.
+func (r *Registry) WriteLatency(w io.Writer) error {
+	n := 0
+	for _, m := range r.sortedMetrics() {
+		if m.q == nil {
+			continue
+		}
+		n++
+		vals := m.q.Quantiles(SLOQuantiles...)
+		line := fmt.Sprintf("%s%s count=%d", m.name, m.labels, m.q.Count())
+		for i, q := range SLOQuantiles {
+			line += fmt.Sprintf(" p%s=%s", formatValue(q*100), secondsDuration(vals[i]))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	if n == 0 {
+		_, err := fmt.Fprintln(w, "no latency summaries registered")
+		return err
+	}
+	return nil
+}
+
+// secondsDuration renders a seconds value as a rounded time.Duration.
+func secondsDuration(s float64) string {
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.Round(time.Nanosecond).String()
 	}
 }

@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -127,6 +128,69 @@ zz_last_total 7
 	if buf.String() != want {
 		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), want)
 	}
+}
+
+// TestHistogramExpositionAgreement hammers a histogram while scraping
+// and asserts every rendered exposition is internally consistent: the
+// +Inf bucket equals _count, the le series is monotone, and _sum is
+// present — the invariants Prometheus-side histogram_quantile math
+// needs from fixed-bucket histograms.
+func TestHistogramExpositionAgreement(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("agree_seconds", "agreement under concurrency", []float64{0.001, 0.01, 0.1, 1})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			v := []float64{0.0005, 0.005, 0.05, 0.5, 5}[n%5]
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(v)
+				}
+			}
+		}(i)
+	}
+	for scrape := 0; scrape < 200; scrape++ {
+		var buf strings.Builder
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var prev, inf, count int64 = -1, -1, -1
+		sawSum := false
+		for _, line := range strings.Split(buf.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, "agree_seconds_bucket"):
+				var v int64
+				if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+					t.Fatalf("parse %q: %v", line, err)
+				}
+				if v < prev {
+					t.Fatalf("non-monotone le series: %q after %d\n%s", line, prev, buf.String())
+				}
+				prev = v
+				if strings.Contains(line, `le="+Inf"`) {
+					inf = v
+				}
+			case strings.HasPrefix(line, "agree_seconds_count"):
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &count)
+			case strings.HasPrefix(line, "agree_seconds_sum"):
+				sawSum = true
+			}
+		}
+		if inf != count {
+			t.Fatalf("+Inf bucket %d != _count %d:\n%s", inf, count, buf.String())
+		}
+		if !sawSum {
+			t.Fatalf("exposition missing _sum:\n%s", buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestDumpDeterministic checks the sorted test-dump form.

@@ -1,0 +1,56 @@
+package obsv
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeMetrics checks the collector registers its series, that a
+// scrape refreshes them, and that enabling twice is a no-op.
+func TestRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	EnableRuntimeMetrics(reg)
+	EnableRuntimeMetrics(reg) // idempotent: must not double-register hooks
+
+	runtime.GC() // guarantee at least one pause for the summary
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, fam := range []string{
+		"# TYPE runtime_goroutines gauge",
+		"# TYPE runtime_heap_alloc_bytes gauge",
+		"# TYPE runtime_gomaxprocs gauge",
+		"# TYPE runtime_gc_cycles gauge",
+		"# TYPE runtime_gc_pause_seconds summary",
+	} {
+		if !strings.Contains(out, fam) {
+			t.Errorf("scrape missing %q:\n%s", fam, out)
+		}
+	}
+	if reg.Value("runtime_goroutines") < 1 {
+		t.Error("runtime_goroutines not refreshed at scrape time")
+	}
+	if reg.Value("runtime_gomaxprocs") != int64(runtime.GOMAXPROCS(0)) {
+		t.Errorf("runtime_gomaxprocs = %d, want %d",
+			reg.Value("runtime_gomaxprocs"), runtime.GOMAXPROCS(0))
+	}
+	if reg.Value("runtime_gc_pause_seconds") < 1 {
+		t.Error("gc pause summary saw no pauses after runtime.GC()")
+	}
+
+	// A second scrape must not re-feed pauses already seen: the summary
+	// can never have observed more pauses than GC cycles that ran.
+	var buf2 strings.Builder
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if got := reg.Value("runtime_gc_pause_seconds"); got > int64(ms.NumGC) {
+		t.Errorf("pause summary observed %d pauses but only %d GC cycles ran (re-fed the ring?)",
+			got, ms.NumGC)
+	}
+}

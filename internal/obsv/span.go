@@ -54,12 +54,15 @@ func (e SpanEvent) Wall() time.Duration {
 }
 
 // Tracer records hierarchical spans. It is safe for concurrent use and
-// append-only: ended spans stay recorded until Reset. A nil Tracer is
-// a valid no-op, as is any Span it hands out, so instrumented code
-// needs no conditionals.
+// append-only: ended spans stay recorded until Reset — unless a cap was
+// set (NewBoundedTracer), in which case the oldest spans are discarded
+// once the log exceeds it, so a long-running daemon can keep a tracer
+// attached under production load. A nil Tracer is a valid no-op, as is
+// any Span it hands out, so instrumented code needs no conditionals.
 type Tracer struct {
 	mu     sync.Mutex
 	nextID int64
+	cap    int // > 0: retain at most ~cap spans (amortized compaction)
 	spans  []*spanRecord
 }
 
@@ -78,6 +81,13 @@ type Span struct {
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{} }
+
+// NewBoundedTracer returns a tracer that retains roughly the last cap
+// spans: the span log compacts (oldest first) whenever it reaches twice
+// the cap, so memory stays bounded while recent request trees — the
+// ones /debug/trace is consulted for — survive intact. cap ≤ 0 means
+// unbounded, same as NewTracer.
+func NewBoundedTracer(cap int) *Tracer { return &Tracer{cap: cap} }
 
 type tracerKeyType struct{}
 
@@ -136,6 +146,13 @@ func (t *Tracer) start(parent int64, name string, attrs []Attr) *Span {
 	t.nextID++
 	rec.id = t.nextID
 	t.spans = append(t.spans, rec)
+	if t.cap > 0 && len(t.spans) >= 2*t.cap {
+		// Amortized O(1): copy the newest cap spans into a fresh slice
+		// so the discarded prefix is actually released.
+		kept := make([]*spanRecord, t.cap)
+		copy(kept, t.spans[len(t.spans)-t.cap:])
+		t.spans = kept
+	}
 	t.mu.Unlock()
 	return &Span{t: t, rec: rec}
 }

@@ -8,6 +8,28 @@ import (
 	"testing"
 )
 
+// TestBoundedTracerCompacts checks a capped tracer discards the oldest
+// spans, keeps the newest, and stays bounded — the property that lets
+// manrsd keep a tracer attached under production load.
+func TestBoundedTracerCompacts(t *testing.T) {
+	tr := NewBoundedTracer(100)
+	for i := 0; i < 1000; i++ {
+		sp := tr.Start("op", KV("i", i))
+		sp.End()
+	}
+	events := tr.Events()
+	if len(events) < 100 || len(events) >= 200 {
+		t.Fatalf("bounded tracer holds %d spans, want within [100, 200)", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Attr("i") != "999" {
+		t.Errorf("newest span lost: last attr i=%s, want 999", last.Attr("i"))
+	}
+	if first := events[0]; first.Attr("i") == "0" {
+		t.Error("oldest span survived 10x the cap")
+	}
+}
+
 func TestSpanHierarchy(t *testing.T) {
 	tr := NewTracer()
 	ctx := ContextWithTracer(context.Background(), tr)

@@ -1,0 +1,87 @@
+// accesslog.go is the per-request structured access log: one sampled
+// key=value record per served request carrying the trace ID, route,
+// status, latency, snapshot version, and cache outcome — the grep-level
+// counterpart to the span tree. Head sampling (1-in-N by arrival order)
+// keeps full-rate logging from becoming the bottleneck the loadgen
+// harness is trying to measure; server errors (5xx) are always logged
+// regardless of the sample, because the requests you shed or timed out
+// are exactly the ones an operator greps for.
+
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"manrsmeter/internal/obsv"
+)
+
+// DefaultAccessLogSample is the default head-sampling rate: one in
+// every N requests is logged (errors always are).
+const DefaultAccessLogSample = 64
+
+// accessLogger writes the sampled access log. A nil accessLogger (or
+// one with a nil sink) drops everything, so the serving path needs no
+// conditionals.
+type accessLogger struct {
+	log    *obsv.Logger // component-scoped sink; nil disables
+	sample uint64       // log 1-in-sample; 1 logs everything
+	seq    atomic.Uint64
+
+	written    *obsv.Counter
+	suppressed *obsv.Counter
+}
+
+// newAccessLogger builds the logger the server uses. sample ≤ 0 picks
+// DefaultAccessLogSample; sink == nil disables logging entirely (the
+// counters still run, so the suppression rate stays observable).
+func newAccessLogger(sink *obsv.Logger, sample int, reg *obsv.Registry) *accessLogger {
+	if sample <= 0 {
+		sample = DefaultAccessLogSample
+	}
+	return &accessLogger{
+		log:    sink,
+		sample: uint64(sample),
+		written: reg.Counter("serve_access_log_written_total",
+			"access log records written (sampled + always-logged errors)"),
+		suppressed: reg.Counter("serve_access_log_suppressed_total",
+			"requests the access-log head sample skipped"),
+	}
+}
+
+// requestRecord is everything one finished request contributes to the
+// access log.
+type requestRecord struct {
+	route    string
+	path     string
+	code     int
+	trace    obsv.TraceContext
+	snapshot string // snapshot version the answer came from ("" before resolution)
+	cache    string // hit | miss | bypass
+	outcome  string // ok | shed | error | not_modified | timeout
+	wall     time.Duration
+}
+
+// record logs one request, applying the head sample. Server errors
+// (5xx, shed included) bypass the sample: they are always written.
+func (a *accessLogger) record(rec requestRecord) {
+	if a == nil || a.log == nil {
+		return
+	}
+	n := a.seq.Add(1)
+	if rec.code < 500 && a.sample > 1 && n%a.sample != 1 {
+		a.suppressed.Inc()
+		return
+	}
+	a.written.Inc()
+	a.log.Info("request",
+		"trace", rec.trace.TraceIDString(),
+		"route", rec.route,
+		"path", rec.path,
+		"status", rec.code,
+		"dur_us", rec.wall.Microseconds(),
+		"snapshot", rec.snapshot,
+		"cache", rec.cache,
+		"outcome", rec.outcome,
+	)
+}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net"
 	"net/http"
 	"strconv"
@@ -45,6 +46,14 @@ type Options struct {
 	Tracer *obsv.Tracer
 	// Logf, when set, receives operational events (serve errors).
 	Logf func(format string, args ...any)
+	// AccessLog, when non-nil, receives the sampled structured access
+	// log (one key=value record per sampled request: trace ID, route,
+	// status, latency, snapshot version, cache outcome).
+	AccessLog *obsv.Logger
+	// AccessLogSample head-samples the access log: 1-in-N requests are
+	// logged, server errors always. ≤ 0 means DefaultAccessLogSample;
+	// 1 logs every request.
+	AccessLogSample int
 }
 
 // Serving defaults, exported so cmd/manrsd can document them in -help.
@@ -53,6 +62,13 @@ const (
 	DefaultRequestTimeout = 30 * time.Second
 	// cacheCap bounds the response cache; entries are evicted FIFO.
 	cacheCap = 4096
+)
+
+// Shared help strings: the registry keys instruments by name+labels, so
+// every call site must agree on the help text.
+const (
+	helpRequests = "requests by route and status"
+	helpDuration = "request latency quantiles by route (all outcomes, sheds included)"
 )
 
 // Server answers MANRS conformance queries over HTTP/JSON from a
@@ -71,7 +87,8 @@ type Server struct {
 	cache      map[string]cachedResponse
 	cacheOrder []string
 
-	met serverMetrics
+	met    serverMetrics
+	access *accessLogger
 
 	mu     sync.Mutex
 	srv    *http.Server
@@ -106,10 +123,11 @@ func NewServer(store *Store, opts Options) *Server {
 		reg = obsv.Default()
 	}
 	return &Server{
-		store: store,
-		opts:  opts,
-		sem:   make(chan struct{}, opts.MaxInFlight),
-		cache: make(map[string]cachedResponse),
+		store:  store,
+		opts:   opts,
+		sem:    make(chan struct{}, opts.MaxInFlight),
+		cache:  make(map[string]cachedResponse),
+		access: newAccessLogger(opts.AccessLog, opts.AccessLogSample, reg),
 		met: serverMetrics{
 			reg:         reg,
 			inflight:    reg.Gauge("serve_inflight_requests", "requests currently being served"),
@@ -180,18 +198,64 @@ func (s *Server) Handler() http.Handler {
 		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
 			return scenarioRun(ctx, snap, r.PathValue("name"))
 		}))
+	// Unknown paths collapse into one bounded label set — a client
+	// scanning arbitrary URLs mints route="other", never a fresh series
+	// per URL. The full path still reaches the (sampled) access log.
+	otherRequests := s.met.reg.Counter("serve_requests_total", helpRequests,
+		"route", "other", "code", "404")
+	otherDuration := s.met.reg.Summary("serve_request_duration_seconds", helpDuration, "route", "other")
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		tc := traceFor(r)
+		w.Header().Set("Traceparent", tc.String())
+		s.writeError(w, http.StatusNotFound, "unknown path")
+		wall := time.Since(start)
+		otherRequests.Inc()
+		otherDuration.Observe(wall.Seconds())
+		s.access.record(requestRecord{
+			route: "other", path: r.URL.Path, code: http.StatusNotFound,
+			trace: tc, cache: "bypass", outcome: "error", wall: wall,
+		})
+	})
 	return mux
 }
 
-// route wraps a query function with the full serving path: span,
-// admission, deadline, snapshot resolution, response cache, ETag
-// revalidation, instrumentation, and JSON rendering.
+// globalRand adapts the locked math/rand global source to
+// obsv.Uint64Source for server-side trace minting.
+type globalRand struct{}
+
+func (globalRand) Uint64() uint64 { return rand.Uint64() }
+
+// traceFor extracts the caller's W3C trace context from the
+// traceparent header, or mints a fresh one, so every request is
+// correlatable across the access log and span tree even when the
+// client sends nothing.
+func traceFor(r *http.Request) obsv.TraceContext {
+	if tc, ok := obsv.ParseTraceParent(r.Header.Get("traceparent")); ok {
+		return tc
+	}
+	return obsv.MakeTraceContext(globalRand{})
+}
+
+// outcomeFor maps an error status to the access-log outcome vocabulary.
+func outcomeFor(code int) string {
+	if code == http.StatusGatewayTimeout {
+		return "timeout"
+	}
+	return "error"
+}
+
+// route wraps a query function with the full serving path: trace
+// correlation, span, admission, deadline, snapshot resolution,
+// response cache, ETag revalidation, instrumentation, and JSON
+// rendering.
 func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error)) http.HandlerFunc {
 	requests := func(code int) *obsv.Counter {
-		return s.met.reg.Counter("serve_requests_total", "requests by route and status",
+		return s.met.reg.Counter("serve_requests_total", helpRequests,
 			"route", name, "code", fmt.Sprint(code))
 	}
 	latency := s.met.reg.Histogram("serve_request_seconds", "request latency by route", nil, "route", name)
+	duration := s.met.reg.Summary("serve_request_duration_seconds", helpDuration, "route", name)
 
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -199,8 +263,33 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		if s.opts.Tracer != nil {
 			ctx = obsv.ContextWithTracer(ctx, s.opts.Tracer)
 		}
-		ctx, span := obsv.StartSpan(ctx, "serve.query", obsv.KV("route", name), obsv.KV("path", r.URL.Path))
+		tc := traceFor(r)
+		ctx = obsv.ContextWithTrace(ctx, tc)
+		w.Header().Set("Traceparent", tc.String())
+		ctx, span := obsv.StartSpan(ctx, "serve.query",
+			obsv.KV("route", name), obsv.KV("path", r.URL.Path), obsv.KV("trace", tc.TraceIDString()))
 		defer span.End()
+
+		// Every exit funnels through this one emit: the RED counters,
+		// both latency instruments, the span status, and the access
+		// log all read the same record, so they cannot drift apart.
+		rec := requestRecord{route: name, path: r.URL.Path, trace: tc, cache: "bypass", outcome: "ok"}
+		admitted := false
+		defer func() {
+			rec.wall = time.Since(start)
+			if admitted {
+				// The fixed-bucket histogram keeps its historical
+				// meaning: time spent on admitted work only.
+				latency.Observe(rec.wall.Seconds())
+			}
+			// The SLO summary sees every outcome — a shed response is
+			// latency the client really observed.
+			duration.Observe(rec.wall.Seconds())
+			requests(rec.code).Inc()
+			span.SetAttr("status", rec.code)
+			span.SetAttr("outcome", rec.outcome)
+			s.access.record(rec)
+		}()
 
 		// Admission: acquire a slot or shed. Shedding is deliberate —
 		// a bounded queue would still grow unbounded latency under
@@ -211,23 +300,23 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 			s.shedStreak.Store(0)
 		default:
 			s.met.shed.Inc()
-			requests(http.StatusServiceUnavailable).Inc()
 			span.SetAttr("shed", true)
+			rec.code, rec.outcome = http.StatusServiceUnavailable, "shed"
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			s.writeError(w, http.StatusServiceUnavailable, "overloaded: admission limit reached, retry later")
 			return
 		}
+		admitted = true
 		defer func() { <-s.sem }()
 		s.met.inflight.Inc()
 		defer s.met.inflight.Dec()
-		defer func() { latency.Observe(time.Since(start).Seconds()) }()
 
 		ctx, cancel := context.WithTimeout(ctx, s.opts.RequestTimeout)
 		defer cancel()
 
 		date, err := s.resolveDate(r)
 		if err != nil {
-			requests(http.StatusBadRequest).Inc()
+			rec.code, rec.outcome = http.StatusBadRequest, "error"
 			s.writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
@@ -235,20 +324,26 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		// The cache key pins the snapshot version, so a refresh of the
 		// same world+date (same version) keeps every entry valid and a
 		// changed world invalidates everything at once.
-		key := s.store.Version(date) + "|" + r.URL.Path + "|" + r.URL.RawQuery
+		ver := s.store.Version(date)
+		key := ver + "|" + r.URL.Path + "|" + r.URL.RawQuery
 		if resp, ok := s.cacheGet(key); ok {
 			s.met.cacheHits.Inc()
 			span.SetAttr("cache", "hit")
-			code := s.writeCached(w, r, resp)
-			requests(code).Inc()
+			rec.cache, rec.snapshot = "hit", ver
+			rec.code = s.writeCached(w, r, resp)
+			if rec.code == http.StatusNotModified {
+				rec.outcome = "not_modified"
+			}
 			return
 		}
 		s.met.cacheMisses.Inc()
 		span.SetAttr("cache", "miss")
+		rec.cache = "miss"
 
 		snap, err := s.store.Get(ctx, date)
 		if err != nil {
-			code := errorCode(ctx, err)
+			rec.code = errorCode(ctx, err)
+			rec.outcome = outcomeFor(rec.code)
 			var be *BackoffError
 			if errors.As(err, &be) {
 				// Tell clients exactly when a rebuild becomes possible.
@@ -258,24 +353,24 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
 			}
-			requests(code).Inc()
 			s.logf("serve: %s %s: snapshot: %v", r.Method, r.URL.Path, err)
-			s.writeError(w, code, err.Error())
+			s.writeError(w, rec.code, err.Error())
 			return
 		}
+		rec.snapshot = snap.Version
 		val, err := q(ctx, snap, r)
 		if err != nil {
-			code := errorCode(ctx, err)
-			requests(code).Inc()
-			if code >= http.StatusInternalServerError {
+			rec.code = errorCode(ctx, err)
+			rec.outcome = outcomeFor(rec.code)
+			if rec.code >= http.StatusInternalServerError {
 				s.logf("serve: %s %s: %v", r.Method, r.URL.Path, err)
 			}
-			s.writeError(w, code, err.Error())
+			s.writeError(w, rec.code, err.Error())
 			return
 		}
 		body, err := json.MarshalIndent(val, "", "  ")
 		if err != nil {
-			requests(http.StatusInternalServerError).Inc()
+			rec.code, rec.outcome = http.StatusInternalServerError, "error"
 			s.logf("serve: %s %s: encode: %v", r.Method, r.URL.Path, err)
 			s.writeError(w, http.StatusInternalServerError, "response encoding failed")
 			return
@@ -283,8 +378,10 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		body = append(body, '\n')
 		resp := cachedResponse{body: body, etag: etagFor(snap.Version, body)}
 		s.cachePut(key, resp)
-		code := s.writeCached(w, r, resp)
-		requests(code).Inc()
+		rec.code = s.writeCached(w, r, resp)
+		if rec.code == http.StatusNotModified {
+			rec.outcome = "not_modified"
+		}
 	}
 }
 

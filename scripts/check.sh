@@ -44,6 +44,14 @@
 #            directory, and assert the daemon warm-starts from the
 #            archive (first query 200, durable_load_total >= 1) before
 #            draining cleanly
+#   loadgen — workload smoke: boot manrsd on the small world with
+#            -access-log-sample 1, drive a seeded reproducible burst
+#            through cmd/loadgen (zero 5xx allowed, 503 shed excluded;
+#            p99 under a generous ceiling), emit BENCH_ServeLatency.json
+#            (p50/p99 ns, qps, shed/error/304 rates) with deltas vs the
+#            committed baseline, and assert the first trace ID injected
+#            by loadgen appears in BOTH the daemon's access log and the
+#            /debug/trace span tree — end-to-end request correlation
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -446,5 +454,88 @@ grep -q 'drained cleanly' "$TMPDIR_SMOKE/crash2.log" || {
     cat "$TMPDIR_SMOKE/crash2.log" >&2
     exit 1
 }
+
+echo "==> loadgen smoke (seeded workload, SLO gate, end-to-end trace correlation)"
+go build -o "$TMPDIR_SMOKE/loadgen" ./cmd/loadgen
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -admin 127.0.0.1:0 \
+    -access-log-sample 1 >"$TMPDIR_SMOKE/lg-manrsd.log" 2>&1 &
+MANRSD_PID=$!
+SERVE_ADDR=""
+for _ in $(seq 1 300); do
+    SERVE_ADDR="$(sed -n 's|.*serving conformance queries on http://||p' "$TMPDIR_SMOKE/lg-manrsd.log")"
+    [ -n "$SERVE_ADDR" ] && break
+    kill -0 "$MANRSD_PID" 2>/dev/null || {
+        echo "loadgen smoke: daemon exited early:" >&2
+        cat "$TMPDIR_SMOKE/lg-manrsd.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+MANRSD_ADMIN="$(sed -n 's|.*admin endpoint on http://||p' "$TMPDIR_SMOKE/lg-manrsd.log")"
+if [ -z "$SERVE_ADDR" ] || [ -z "$MANRSD_ADMIN" ]; then
+    echo "loadgen smoke: daemon never logged serving/admin addresses" >&2
+    cat "$TMPDIR_SMOKE/lg-manrsd.log" >&2
+    exit 1
+fi
+# The seeded burst: closed loop, zipfian popularity, If-None-Match
+# revalidation driving the 304 path. The gates are part of the command:
+# -max-5xx 0 fails on any server error (503 shed excluded by design)
+# and -slo-p99 fails if the small world cannot answer under a deliber-
+# ately generous ceiling. 920 requests keep every span within the
+# daemon's default -trace-cap, so the first trace stays greppable.
+if ! BENCH_COMMIT="$BENCH_COMMIT" "$TMPDIR_SMOKE/loadgen" -base "http://$SERVE_ADDR" \
+    -seed 7 -workers 6 -warmup-requests 120 -requests 800 -asn-count 800 \
+    -revalidate 0.3 -slo-p99 2s -max-5xx 0 \
+    -bench-out BENCH_ServeLatency.json >"$TMPDIR_SMOKE/loadgen.out" 2>&1; then
+    echo "loadgen smoke: workload failed its gates:" >&2
+    cat "$TMPDIR_SMOKE/loadgen.out" >&2
+    exit 1
+fi
+cat "$TMPDIR_SMOKE/loadgen.out"
+[ -f BENCH_ServeLatency.json ] || { echo "loadgen smoke: BENCH_ServeLatency.json missing" >&2; exit 1; }
+# End-to-end correlation: the first trace ID minted by loadgen must be
+# observable in the daemon's access log AND its span tree.
+TRACE_ID="$(sed -n 's/^first traceparent trace_id=//p' "$TMPDIR_SMOKE/loadgen.out")"
+if [ -z "$TRACE_ID" ]; then
+    echo "loadgen smoke: no first-trace line in loadgen output" >&2
+    exit 1
+fi
+grep -q "trace=$TRACE_ID" "$TMPDIR_SMOKE/lg-manrsd.log" || {
+    echo "loadgen smoke: trace $TRACE_ID missing from the access log" >&2
+    grep 'component=access' "$TMPDIR_SMOKE/lg-manrsd.log" | head -3 >&2 || true
+    exit 1
+}
+curl -s -o "$TMPDIR_SMOKE/trace.tree" "http://$MANRSD_ADMIN/debug/trace"
+grep -q "$TRACE_ID" "$TMPDIR_SMOKE/trace.tree" || {
+    echo "loadgen smoke: trace $TRACE_ID missing from /debug/trace" >&2
+    head -5 "$TMPDIR_SMOKE/trace.tree" >&2 || true
+    exit 1
+}
+echo "loadgen smoke: trace $TRACE_ID correlated across access log and span tree"
+# The revalidation knob must actually exercise the 304 path.
+NOTMOD_PPM="$(bench_field BENCH_ServeLatency.json not_modified_ppm)"
+if [ "${NOTMOD_PPM:-0}" -lt 1 ]; then
+    echo "loadgen smoke: not_modified_ppm = ${NOTMOD_PPM:-absent}, want >= 1 (revalidation never hit)" >&2
+    exit 1
+fi
+# Latency trajectory vs the committed baseline (informational).
+for key in p50_ns p99_ns qps; do
+    BASE_V="$(git show HEAD:BENCH_ServeLatency.json 2>/dev/null | sed -n 's/.*"'"$key"'": \([0-9][0-9]*\).*/\1/p' || true)"
+    NEW_V="$(bench_field BENCH_ServeLatency.json "$key")"
+    if [ -n "$BASE_V" ] && [ -n "$NEW_V" ]; then
+        printf '  serve latency %s: %s -> %s (%+d)\n' "$key" "$BASE_V" "$NEW_V" "$((NEW_V - BASE_V))"
+    else
+        echo "  serve latency $key: no committed baseline"
+    fi
+done
+kill -TERM "$MANRSD_PID"
+LG_STATUS=0
+wait "$MANRSD_PID" || LG_STATUS=$?
+MANRSD_PID=""
+if [ "$LG_STATUS" != 0 ]; then
+    echo "loadgen smoke: daemon exited $LG_STATUS on SIGTERM" >&2
+    cat "$TMPDIR_SMOKE/lg-manrsd.log" >&2
+    exit 1
+fi
 
 echo "==> all checks passed"
