@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	loadgen -base http://127.0.0.1:8180 [-seed N] [-workers N]
+//	loadgen -base http://127.0.0.1:8180 [-targets URL,URL,...]
+//	        [-seed N] [-workers N]
 //	        [-requests N] [-warmup-requests N] [-duration D] [-qps R]
 //	        [-ramp D] [-mix as=40,prefix=25,stats=15,report=10,scenario=10]
 //	        [-asn-base N] [-asn-count N] [-zipf-s S] [-zipf-v V]
@@ -87,6 +88,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	base := flag.String("base", "http://127.0.0.1:8180", "manrsd base URL")
+	targets := flag.String("targets", "", "comma-separated base URLs to spread the workload across (a gateway plus replicas, say); overrides -base and adds a per-target breakdown to the summary and BENCH json")
 	seed := flag.Int64("seed", 1, "workload seed; same seed, same requests")
 	workers := flag.Int("workers", 8, "concurrent workers (closed loop: offered load; open loop: in-flight cap)")
 	requests := flag.Int("requests", 1000, "measured request budget (ignored with -duration)")
@@ -115,8 +117,16 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var targetList []string
+	for _, t := range strings.Split(*targets, ",") {
+		if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+			targetList = append(targetList, t)
+		}
+	}
+
 	cfg := loadgen.Config{
 		BaseURL:        strings.TrimRight(*base, "/"),
+		Targets:        targetList,
 		Seed:           *seed,
 		Workers:        *workers,
 		Ramp:           *ramp,
@@ -136,7 +146,11 @@ func main() {
 	if *qps > 0 {
 		mode = fmt.Sprintf("open @ %.0f qps", *qps)
 	}
-	log.Printf("driving %s: %d workers, %s loop, seed %d", cfg.BaseURL, cfg.Workers, mode, cfg.Seed)
+	driving := cfg.BaseURL
+	if len(targetList) > 0 {
+		driving = strings.Join(targetList, ", ")
+	}
+	log.Printf("driving %s: %d workers, %s loop, seed %d", driving, cfg.Workers, mode, cfg.Seed)
 
 	start := time.Now()
 	res, err := loadgen.Run(ctx, cfg)

@@ -60,6 +60,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -83,6 +84,7 @@ func main() {
 	noWarm := flag.Bool("no-warm", false, "skip pre-building the headline snapshot; the first queries coalesce onto the cold build instead")
 	drain := flag.Duration("drain", 5*time.Second, "bound on draining in-flight requests at shutdown; whatever remains is force-closed")
 	dataDir := flag.String("data-dir", "", "directory for durable snapshot archives; restarts warm-start from the last known-good archive (empty = no persistence)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs (replicas or a manrs-gw gateway); at boot a snapshot is pulled from the first peer that has one published, skipping the local rebuild")
 	snapBudget := flag.Int64("snap-budget", durable.DefaultMaxBytes, "retention budget in bytes for the -data-dir archive directory")
 	accessLogSample := flag.Int("access-log-sample", serve.DefaultAccessLogSample, "access-log head sampling: log 1-in-N requests (server errors always logged); 1 logs every request, 0 the default")
 	traceCap := flag.Int("trace-cap", 4096, "bound on retained request spans for /debug/trace; 0 disables request tracing")
@@ -167,13 +169,35 @@ func main() {
 			}()
 		} else {
 			if err != nil {
-				log.Printf("warm start from archive failed (%v); falling back to a cold build", err)
+				log.Printf("warm start from archive failed (%v); falling back", err)
 			}
-			if _, err := store.Get(ctx, store.DefaultDate()); err != nil {
-				log.Fatalf("warm headline snapshot: %v", err)
+			// Wire replication beats a local rebuild: a replica joining
+			// a fleet whose snapshot is already published pulls the
+			// archive from a peer (or the gateway's coordinator relay)
+			// and catches up in milliseconds instead of rebuilding.
+			synced := false
+			if *peers != "" {
+				var peerList []string
+				for _, p := range strings.Split(*peers, ",") {
+					if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+						peerList = append(peerList, p)
+					}
+				}
+				if snap, peer, err := store.SyncPeers(ctx, nil, peerList, store.DefaultDate()); err == nil {
+					log.Printf("synced snapshot %s from peer %s via wire replication (no local rebuild, %.3fs)",
+						snap.Version, peer, time.Since(warmStart).Seconds())
+					synced = true
+				} else {
+					log.Printf("peer sync failed (%v); falling back to a cold build", err)
+				}
 			}
-			log.Printf("headline snapshot %s published (%.1fs)",
-				store.Version(store.DefaultDate()), time.Since(warmStart).Seconds())
+			if !synced {
+				if _, err := store.Get(ctx, store.DefaultDate()); err != nil {
+					log.Fatalf("warm headline snapshot: %v", err)
+				}
+				log.Printf("headline snapshot %s published (%.1fs)",
+					store.Version(store.DefaultDate()), time.Since(warmStart).Seconds())
+			}
 		}
 	}
 

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fleet returns n synthetic replica names.
+func fleet(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://replica-%d:8180", i)
+	}
+	return out
+}
+
+// keys returns the shard keys the uniformity and disruption tests
+// route: the same shape the gateway derives from /v1 paths.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		if i%3 == 0 {
+			out[i] = fmt.Sprintf("prefix/10.%d.%d.0/24", i/200%200, i%200)
+		} else {
+			out[i] = fmt.Sprintf("as/%d", 100+i)
+		}
+	}
+	return out
+}
+
+// TestRingDeterminism is the restart contract: ownership is a pure
+// function of (seed, member set, key), so a freshly constructed ring in
+// another process — or the same members fed in any order — routes
+// identically.
+func TestRingDeterminism(t *testing.T) {
+	members := fleet(5)
+	a := NewRing(7, members...)
+	b := NewRing(7, members[4], members[2], members[0], members[3], members[1], members[1])
+
+	for _, k := range keys(2000) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("key %q: ring a owns %q, ring b (reordered members) owns %q", k, ao, bo)
+		}
+	}
+
+	// A different seed is a different placement: if every key landed on
+	// the same owner under seed 7 and seed 8, the seed is not part of
+	// the hash.
+	c := NewRing(8, members...)
+	moved := 0
+	for _, k := range keys(2000) {
+		if a.Owner(k) != c.Owner(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("changing the ring seed moved no keys: seed not hashed")
+	}
+}
+
+// TestRingOwnersOrder checks the fallback order: distinct members,
+// total and deterministic, truncated at the member count.
+func TestRingOwnersOrder(t *testing.T) {
+	r := NewRing(1, fleet(4)...)
+
+	owners := r.Owners("as/105", 10)
+	if len(owners) != 4 {
+		t.Fatalf("Owners(n=10) over 4 members returned %d", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in preference order %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if got := r.Owners("as/105", 2); got[0] != owners[0] || got[1] != owners[1] {
+		t.Errorf("Owners(2) = %v disagrees with the prefix of Owners(10) = %v", got, owners[:2])
+	}
+
+	empty := NewRing(1)
+	if o := empty.Owner("as/105"); o != "" {
+		t.Errorf("empty ring owns %q, want \"\"", o)
+	}
+	if got := empty.Owners("as/105", 3); got != nil {
+		t.Errorf("empty ring Owners = %v, want nil", got)
+	}
+}
+
+// TestRingBoundedDisruption is the property rendezvous hashing buys:
+// when a member leaves, only its keys move (scattering over the
+// survivors); when one joins, the only keys that move are the ones the
+// newcomer wins — about 1/n of the total.
+func TestRingBoundedDisruption(t *testing.T) {
+	members := fleet(5)
+	ks := keys(10000)
+
+	r := NewRing(3, members...)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	// Leave: drop members[2].
+	gone := members[2]
+	var survivors []string
+	for _, m := range members {
+		if m != gone {
+			survivors = append(survivors, m)
+		}
+	}
+	r.SetMembers(survivors)
+	movedFromSurvivor := 0
+	orphans := 0
+	for _, k := range ks {
+		after := r.Owner(k)
+		if before[k] == gone {
+			orphans++
+			if after == gone {
+				t.Fatalf("key %q still owned by departed member", k)
+			}
+			continue
+		}
+		if after != before[k] {
+			movedFromSurvivor++
+		}
+	}
+	if movedFromSurvivor != 0 {
+		t.Errorf("leave moved %d keys whose owner survived; rendezvous moves only the departed member's keys", movedFromSurvivor)
+	}
+	if orphans == 0 {
+		t.Fatal("departed member owned no keys; disruption test vacuous")
+	}
+
+	// Join: restore the full set. Every key either keeps its survivor
+	// owner or moves to the joining member, and the joiner wins ≈ 1/5.
+	interim := make(map[string]string, len(ks))
+	for _, k := range ks {
+		interim[k] = r.Owner(k)
+	}
+	r.SetMembers(members)
+	movedElsewhere, wonByJoiner := 0, 0
+	for _, k := range ks {
+		after := r.Owner(k)
+		if after == interim[k] {
+			continue
+		}
+		if after == gone {
+			wonByJoiner++
+		} else {
+			movedElsewhere++
+		}
+	}
+	if movedElsewhere != 0 {
+		t.Errorf("join moved %d keys to members other than the joiner", movedElsewhere)
+	}
+	want := len(ks) / len(members) // expected 1/n
+	if wonByJoiner < want/2 || wonByJoiner > want*2 {
+		t.Errorf("joiner won %d of %d keys, want ≈ %d (1/%d)", wonByJoiner, len(ks), want, len(members))
+	}
+}
+
+// TestRingUniformity bounds the load skew: with 5 members and 10k keys
+// every member owns 15–25% (expected 20%); worse means the hash is
+// clumping and one replica would run hot.
+func TestRingUniformity(t *testing.T) {
+	members := fleet(5)
+	r := NewRing(11, members...)
+	ks := keys(10000)
+
+	counts := map[string]int{}
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	lo, hi := len(ks)*15/100, len(ks)*25/100
+	for _, m := range members {
+		if n := counts[m]; n < lo || n > hi {
+			t.Errorf("member %s owns %d of %d keys; want within [%d, %d]", m, n, len(ks), lo, hi)
+		}
+	}
+}

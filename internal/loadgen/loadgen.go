@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +50,13 @@ func (m RouteMix) total() int { return m.AS + m.Prefix + m.Stats + m.Report + m.
 type Config struct {
 	// BaseURL is the manrsd root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Targets, when set, spreads the workload uniformly across several
+	// base URLs (a gateway plus individual replicas, say), with a
+	// per-target latency/error breakdown in the Result. Empty means
+	// [BaseURL]. With a single target the issued request sequence is
+	// identical to the pre-Targets harness (no extra RNG draw), so
+	// committed BENCH baselines stay comparable.
+	Targets []string
 	// Seed makes the workload reproducible: the same seed, workers,
 	// and budgets issue the same multiset of requests with the same
 	// traceparent IDs.
@@ -88,6 +96,12 @@ type Config struct {
 }
 
 func (c *Config) setDefaults() {
+	if len(c.Targets) == 0 && c.BaseURL != "" {
+		c.Targets = []string{c.BaseURL}
+	}
+	for i, t := range c.Targets {
+		c.Targets[i] = strings.TrimRight(t, "/")
+	}
 	if c.Workers <= 0 {
 		c.Workers = 8
 	}
@@ -138,10 +152,26 @@ type Result struct {
 	// Elapsed is the measured-phase wall time; QPS = Measured/Elapsed.
 	Elapsed time.Duration
 	QPS     float64
+	// ByTarget breaks the measured phase down per base URL — present
+	// only when the run drove more than one target.
+	ByTarget map[string]*TargetResult
 	// FirstTrace is worker 0's first trace ID — deterministic for a
 	// seed, and the handle check.sh greps through the access log and
 	// span tree.
 	FirstTrace string
+}
+
+// TargetResult is one target's slice of a multi-target run.
+type TargetResult struct {
+	// Measured counts this target's measured requests (transport
+	// errors included).
+	Measured int64
+	// Errors counts transport-level failures against this target.
+	Errors int64
+	// Shed counts 503s, ServerErrors other 5xx, NotModified 304s.
+	Shed, ServerErrors, NotModified int64
+	// Hist holds this target's measured latencies (seconds).
+	Hist *obsv.QuantileHistogram
 }
 
 // arrival is one open-loop scheduled request; latency is measured from
@@ -167,9 +197,21 @@ type worker struct {
 
 	byStatus map[int]int64
 	byRoute  map[string]int64
+	byTarget map[string]*TargetResult
 	requests int64
 	measured int64
 	errors   int64
+}
+
+// target returns this worker's aggregate for one base URL, creating it
+// on first use.
+func (w *worker) target(base string) *TargetResult {
+	tr, ok := w.byTarget[base]
+	if !ok {
+		tr = &TargetResult{Hist: obsv.NewLatencyQuantiles()}
+		w.byTarget[base] = tr
+	}
+	return tr
 }
 
 func newWorker(id int, cfg *Config) *worker {
@@ -183,36 +225,43 @@ func newWorker(id int, cfg *Config) *worker {
 		etags:    make(map[string]string),
 		byStatus: make(map[int]int64),
 		byRoute:  make(map[string]int64),
+		byTarget: make(map[string]*TargetResult),
 	}
 }
 
-// pick chooses the next route + URL from the mix and popularity model.
-func (w *worker) pick() (route, url string) {
+// pick chooses the next route, target, and URL from the mix and
+// popularity model. A single-target run draws no target RNG, so its
+// request sequence is identical to the pre-Targets harness.
+func (w *worker) pick() (route, target, url string) {
+	target = w.cfg.Targets[0]
+	if len(w.cfg.Targets) > 1 {
+		target = w.cfg.Targets[w.rng.Intn(len(w.cfg.Targets))]
+	}
 	m := w.cfg.Mix
 	n := w.rng.Intn(m.total())
 	switch {
 	case n < m.AS:
 		asn := w.cfg.ASNBase + int(w.zipf.Uint64())
-		return "as_conformance", fmt.Sprintf("%s/v1/as/%d/conformance", w.cfg.BaseURL, asn)
+		return "as_conformance", target, fmt.Sprintf("%s/v1/as/%d/conformance", target, asn)
 	case n < m.AS+m.Prefix:
 		// Prefixes follow the synth layout (10.a.b.0/24 by rank);
 		// unknown prefixes answer 200 with empty origin lists, so a
 		// miss is still a valid measured request.
 		rank := int(w.zipf.Uint64())
-		return "prefix", fmt.Sprintf("%s/v1/prefix/10.%d.%d.0/24", w.cfg.BaseURL, rank/200%200, rank%200)
+		return "prefix", target, fmt.Sprintf("%s/v1/prefix/10.%d.%d.0/24", target, rank/200%200, rank%200)
 	case n < m.AS+m.Prefix+m.Stats:
-		return "stats", w.cfg.BaseURL + "/v1/stats"
+		return "stats", target, target + "/v1/stats"
 	case n < m.AS+m.Prefix+m.Stats+m.Report:
-		return "report_index", w.cfg.BaseURL + "/v1/report"
+		return "report_index", target, target + "/v1/report"
 	default:
-		return "scenario_index", w.cfg.BaseURL + "/v1/scenario"
+		return "scenario_index", target, target + "/v1/scenario"
 	}
 }
 
 // issue performs one request and records it. sched is the latency
 // clock start: arrival time in open loop, send time in closed loop.
 func (w *worker) issue(ctx context.Context, client *http.Client, sched time.Time, measured bool) {
-	route, url := w.pick()
+	route, target, url := w.pick()
 	trace := obsv.MakeTraceContext(w.rng)
 	if w.firstTrace == "" {
 		w.firstTrace = trace.TraceIDString()
@@ -235,6 +284,9 @@ func (w *worker) issue(ctx context.Context, client *http.Client, sched time.Time
 		if measured {
 			w.measured++
 			w.errors++
+			tr := w.target(target)
+			tr.Measured++
+			tr.Errors++
 		}
 		return
 	}
@@ -250,14 +302,25 @@ func (w *worker) issue(ctx context.Context, client *http.Client, sched time.Time
 	w.byStatus[resp.StatusCode]++
 	w.byRoute[route]++
 	w.hist.Observe(wall.Seconds())
+	tr := w.target(target)
+	tr.Measured++
+	tr.Hist.Observe(wall.Seconds())
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		tr.Shed++
+	case resp.StatusCode >= 500:
+		tr.ServerErrors++
+	case resp.StatusCode == http.StatusNotModified:
+		tr.NotModified++
+	}
 }
 
 // Run executes the configured workload and blocks until the budget is
 // spent, the duration elapses, or ctx is cancelled.
 func Run(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.setDefaults()
-	if cfg.BaseURL == "" {
-		return nil, fmt.Errorf("loadgen: BaseURL required")
+	if len(cfg.Targets) == 0 {
+		return nil, fmt.Errorf("loadgen: BaseURL or Targets required")
 	}
 	client := cfg.Client
 	if client == nil {
@@ -384,6 +447,24 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 			res.ByRoute[route] += n
 		}
 		_ = res.Hist.Merge(w.hist)
+		if len(cfg.Targets) > 1 {
+			if res.ByTarget == nil {
+				res.ByTarget = make(map[string]*TargetResult)
+			}
+			for base, tr := range w.byTarget {
+				agg, ok := res.ByTarget[base]
+				if !ok {
+					agg = &TargetResult{Hist: obsv.NewLatencyQuantiles()}
+					res.ByTarget[base] = agg
+				}
+				agg.Measured += tr.Measured
+				agg.Errors += tr.Errors
+				agg.Shed += tr.Shed
+				agg.ServerErrors += tr.ServerErrors
+				agg.NotModified += tr.NotModified
+				_ = agg.Hist.Merge(tr.Hist)
+			}
+		}
 	}
 	res.Shed = res.ByStatus[http.StatusServiceUnavailable]
 	res.NotModified = res.ByStatus[http.StatusNotModified]
@@ -422,7 +503,24 @@ func (r *Result) WriteSummary(w io.Writer) {
 	for i, q := range qs {
 		fmt.Fprintf(w, "%-6s         %v\n", labels[i], time.Duration(q*float64(time.Second)).Round(time.Microsecond))
 	}
+	for _, base := range sortedTargets(r.ByTarget) {
+		tr := r.ByTarget[base]
+		tq := tr.Hist.Quantiles(0.5, 0.99)
+		fmt.Fprintf(w, "target %s  measured %d  errs %d  shed %d  5xx %d  304 %d  p50 %v  p99 %v\n",
+			base, tr.Measured, tr.Errors, tr.Shed, tr.ServerErrors, tr.NotModified,
+			time.Duration(tq[0]*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(tq[1]*float64(time.Second)).Round(time.Microsecond))
+	}
 	fmt.Fprintf(w, "first traceparent trace_id=%s\n", r.FirstTrace)
+}
+
+func sortedTargets(m map[string]*TargetResult) []string {
+	bases := make([]string, 0, len(m))
+	for base := range m {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	return bases
 }
 
 // BenchJSON is the machine-readable run record, shaped like the other
@@ -440,9 +538,23 @@ type BenchJSON struct {
 	ShedPPM     int64  `json:"shed_ppm"`
 	Error5xxPPM int64  `json:"error_5xx_ppm"`
 	NotModPPM   int64  `json:"not_modified_ppm"`
-	Date        string `json:"date"`
-	Commit      string `json:"commit"`
-	Go          string `json:"go"`
+	// PerTarget is the per-base-URL breakdown of a multi-target run;
+	// omitted for single-target runs so committed baselines keep their
+	// exact shape.
+	PerTarget []BenchTarget `json:"per_target,omitempty"`
+	Date      string        `json:"date"`
+	Commit    string        `json:"commit"`
+	Go        string        `json:"go"`
+}
+
+// BenchTarget is one target's slice of a multi-target BenchJSON.
+type BenchTarget struct {
+	Target      string `json:"target"`
+	Requests    int64  `json:"requests"`
+	P50NS       int64  `json:"p50_ns"`
+	P99NS       int64  `json:"p99_ns"`
+	ShedPPM     int64  `json:"shed_ppm"`
+	Error5xxPPM int64  `json:"error_5xx_ppm"`
 }
 
 // Bench converts the result into its BENCH_*.json record.
@@ -454,7 +566,7 @@ func (r *Result) Bench(name, commit, goVersion string, now time.Time) BenchJSON 
 		}
 		return n * 1_000_000 / r.Measured
 	}
-	return BenchJSON{
+	b := BenchJSON{
 		Name:        name,
 		P50NS:       int64(qs[0] * 1e9),
 		P90NS:       int64(qs[1] * 1e9),
@@ -469,6 +581,25 @@ func (r *Result) Bench(name, commit, goVersion string, now time.Time) BenchJSON 
 		Commit:      commit,
 		Go:          goVersion,
 	}
+	for _, base := range sortedTargets(r.ByTarget) {
+		tr := r.ByTarget[base]
+		tq := tr.Hist.Quantiles(0.5, 0.99)
+		tppm := func(n int64) int64 {
+			if tr.Measured == 0 {
+				return 0
+			}
+			return n * 1_000_000 / tr.Measured
+		}
+		b.PerTarget = append(b.PerTarget, BenchTarget{
+			Target:      base,
+			Requests:    tr.Measured,
+			P50NS:       int64(tq[0] * 1e9),
+			P99NS:       int64(tq[1] * 1e9),
+			ShedPPM:     tppm(tr.Shed),
+			Error5xxPPM: tppm(tr.ServerErrors + tr.Errors),
+		})
+	}
+	return b
 }
 
 // interface check: the worker RNG satisfies the trace-minting source.

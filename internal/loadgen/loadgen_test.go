@@ -195,6 +195,105 @@ func TestOpenLoop(t *testing.T) {
 	}
 }
 
+// TestMultiTarget spreads one run across two stub servers and checks
+// the per-target breakdown adds up to the whole.
+func TestMultiTarget(t *testing.T) {
+	stub1, stub2 := &stubServer{}, &stubServer{}
+	ts1 := httptest.NewServer(stub1.handler())
+	defer ts1.Close()
+	ts2 := httptest.NewServer(stub2.handler())
+	defer ts2.Close()
+
+	res, err := Run(context.Background(), Config{
+		Seed: 5, Workers: 4, Requests: 400,
+		Targets: []string{ts1.URL, ts2.URL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urls1, _, _ := stub1.snapshot()
+	urls2, _, _ := stub2.snapshot()
+	if len(urls1) == 0 || len(urls2) == 0 {
+		t.Fatalf("workload not spread: target1=%d target2=%d", len(urls1), len(urls2))
+	}
+	// Uniform target selection over 400 requests: each side should be
+	// near 200; 120..280 is > 8 sigma, so flakes mean a real bug.
+	for i, n := range []int{len(urls1), len(urls2)} {
+		if n < 120 || n > 280 {
+			t.Errorf("target %d saw %d of 400 requests: selection not uniform", i+1, n)
+		}
+	}
+
+	if len(res.ByTarget) != 2 {
+		t.Fatalf("ByTarget has %d entries, want 2", len(res.ByTarget))
+	}
+	var sum, histSum int64
+	for _, tr := range res.ByTarget {
+		sum += tr.Measured
+		histSum += tr.Hist.Count()
+	}
+	if sum != res.Measured {
+		t.Errorf("per-target measured sums to %d, total is %d", sum, res.Measured)
+	}
+	if histSum != res.Hist.Count() {
+		t.Errorf("per-target histograms hold %d, total holds %d", histSum, res.Hist.Count())
+	}
+
+	b := res.Bench("LoadgenClusterLatency", "abc", "go", time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC))
+	if len(b.PerTarget) != 2 {
+		t.Fatalf("bench PerTarget has %d entries, want 2", len(b.PerTarget))
+	}
+	if !sort.SliceIsSorted(b.PerTarget, func(i, j int) bool { return b.PerTarget[i].Target < b.PerTarget[j].Target }) {
+		t.Error("bench PerTarget not sorted by target")
+	}
+	for _, pt := range b.PerTarget {
+		if pt.Requests == 0 || pt.P50NS <= 0 {
+			t.Errorf("empty per-target bench record: %+v", pt)
+		}
+	}
+}
+
+// TestSingleTargetUnchanged pins the determinism contract: a run with
+// Targets=[url] issues exactly the request sequence a BaseURL-only run
+// does (no extra RNG draw), so committed BENCH baselines built before
+// multi-target support stay comparable.
+func TestSingleTargetUnchanged(t *testing.T) {
+	cfg := Config{Seed: 11, Workers: 3, WarmupRequests: 30, Requests: 150, Revalidate: 0.3}
+
+	stubBase := &stubServer{}
+	resBase := runAgainst(t, stubBase, cfg)
+
+	stubTgt := &stubServer{}
+	tsTgt := httptest.NewServer(stubTgt.handler())
+	defer tsTgt.Close()
+	cfgTgt := cfg
+	cfgTgt.Targets = []string{tsTgt.URL}
+	resTgt, err := Run(context.Background(), cfgTgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	urlsBase, tracesBase, _ := stubBase.snapshot()
+	urlsTgt, tracesTgt, _ := stubTgt.snapshot()
+	sort.Strings(urlsBase)
+	sort.Strings(urlsTgt)
+	if strings.Join(urlsBase, "\n") != strings.Join(urlsTgt, "\n") {
+		t.Error("single-target run issued a different URL multiset than the BaseURL run")
+	}
+	sort.Strings(tracesBase)
+	sort.Strings(tracesTgt)
+	if strings.Join(tracesBase, "\n") != strings.Join(tracesTgt, "\n") {
+		t.Error("single-target run minted different trace IDs than the BaseURL run")
+	}
+	if resBase.FirstTrace != resTgt.FirstTrace {
+		t.Errorf("first trace diverged: %q vs %q", resBase.FirstTrace, resTgt.FirstTrace)
+	}
+	if resTgt.ByTarget != nil {
+		t.Error("single-target run grew a ByTarget breakdown; baselines should keep their shape")
+	}
+}
+
 // TestBenchJSON pins the machine-readable record: integer fields only,
 // rates in ppm, quantiles in nanoseconds.
 func TestBenchJSON(t *testing.T) {

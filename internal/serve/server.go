@@ -87,6 +87,12 @@ type Server struct {
 	cache      map[string]cachedResponse
 	cacheOrder []string
 
+	// peerEncoded memoizes durable-encoded archives served to peers
+	// over /peer/snapshot, keyed by snapshot version (FIFO, bounded).
+	peerMu      sync.Mutex
+	peerEncoded map[string][]byte
+	peerOrder   []string
+
 	met    serverMetrics
 	access *accessLogger
 
@@ -123,11 +129,12 @@ func NewServer(store *Store, opts Options) *Server {
 		reg = obsv.Default()
 	}
 	return &Server{
-		store:  store,
-		opts:   opts,
-		sem:    make(chan struct{}, opts.MaxInFlight),
-		cache:  make(map[string]cachedResponse),
-		access: newAccessLogger(opts.AccessLog, opts.AccessLogSample, reg),
+		store:       store,
+		opts:        opts,
+		sem:         make(chan struct{}, opts.MaxInFlight),
+		cache:       make(map[string]cachedResponse),
+		peerEncoded: make(map[string][]byte),
+		access:      newAccessLogger(opts.AccessLog, opts.AccessLogSample, reg),
 		met: serverMetrics{
 			reg:         reg,
 			inflight:    reg.Gauge("serve_inflight_requests", "requests currently being served"),
@@ -166,6 +173,10 @@ func (s *Server) Handler() http.Handler {
 		}
 		fmt.Fprintln(w, "warming") // still 200: serving, first build pending
 	})
+	// Fleet-internal replication protocol: peers (and the gateway's
+	// coordinator relay) pull published snapshots as durable archives.
+	mux.HandleFunc("GET /peer/version", s.peerVersion)
+	mux.HandleFunc("GET /peer/snapshot", s.peerSnapshot)
 	mux.HandleFunc("GET /v1/as/{asn}/conformance", s.route("as_conformance",
 		func(ctx context.Context, snap *Snapshot, r *http.Request) (any, error) {
 			return asConformance(snap, r.PathValue("asn"))
@@ -325,6 +336,10 @@ func (s *Server) route(name string, q func(ctx context.Context, snap *Snapshot, 
 		// same world+date (same version) keeps every entry valid and a
 		// changed world invalidates everything at once.
 		ver := s.store.Version(date)
+		// Every /v1 answer names the snapshot version it came from, so
+		// the gateway (and tests) can assert cross-replica version
+		// coherence from headers alone, without parsing bodies.
+		w.Header().Set("X-MANRS-Snapshot", ver)
 		key := ver + "|" + r.URL.Path + "|" + r.URL.RawQuery
 		if resp, ok := s.cacheGet(key); ok {
 			s.met.cacheHits.Inc()

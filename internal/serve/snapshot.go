@@ -163,6 +163,12 @@ type storeMetrics struct {
 	backoffs     *obsv.Counter
 	warmStarts   *obsv.Counter
 	buildSeconds *obsv.Histogram
+	// Cluster replication: snapshots pulled from a peer over the wire
+	// instead of rebuilt, failures doing so, and archives served to
+	// peers via /peer/snapshot.
+	wireSyncs      *obsv.Counter
+	wireSyncErrors *obsv.Counter
+	peerServes     *obsv.Counter
 }
 
 // StoreOptions tunes a Store.
@@ -222,6 +228,12 @@ func NewStore(w *synth.World, opts StoreOptions) *Store {
 			backoffs:     reg.Counter("serve_snapshot_backoff_total", "requests refused because the date key is in build backoff"),
 			warmStarts:   reg.Counter("serve_snapshot_warm_starts_total", "snapshots published from the durable archive at boot"),
 			buildSeconds: reg.Histogram("serve_snapshot_build_seconds", "snapshot build latency", nil),
+			wireSyncs: reg.Counter("serve_snapshot_wire_syncs_total",
+				"snapshots published from a peer's wire archive instead of a local rebuild"),
+			wireSyncErrors: reg.Counter("serve_snapshot_wire_sync_errors_total",
+				"failed attempts to sync a snapshot from a peer"),
+			peerServes: reg.Counter("serve_peer_snapshot_serves_total",
+				"snapshot archives served to peers over /peer/snapshot"),
 		},
 	}
 	if s.backoffBase <= 0 {

@@ -52,6 +52,17 @@
 #            committed baseline, and assert the first trace ID injected
 #            by loadgen appears in BOTH the daemon's access log and the
 #            /debug/trace span tree — end-to-end request correlation
+#   cluster — distributed serve tier smoke: boot 2 replicas on the seed
+#            world, boot a 3rd with -peers so it catches up over wire
+#            replication (asserted from its log) instead of rebuilding,
+#            front all 3 with manrs-gw, assert ETag coherence (the
+#            gateway's ETag matches a direct replica query; 304
+#            revalidation works through the gateway), drive a seeded
+#            loadgen burst through the gateway with -max-5xx 0, emit
+#            BENCH_ClusterLatency.json with deltas vs the committed
+#            baseline, then SIGTERM one replica and assert it drains
+#            cleanly, the ring converges on the survivors, and the
+#            gateway still answers 200
 set -eu
 
 FUZZTIME="${FUZZTIME:-5s}"
@@ -60,6 +71,10 @@ TMPDIR_SMOKE="$(mktemp -d)"
 cleanup() {
     [ -n "${COLLECTOR_PID:-}" ] && kill "$COLLECTOR_PID" 2>/dev/null || true
     [ -n "${MANRSD_PID:-}" ] && kill "$MANRSD_PID" 2>/dev/null || true
+    [ -n "${GW_PID:-}" ] && kill "$GW_PID" 2>/dev/null || true
+    [ -n "${R1_PID:-}" ] && kill "$R1_PID" 2>/dev/null || true
+    [ -n "${R2_PID:-}" ] && kill "$R2_PID" 2>/dev/null || true
+    [ -n "${R3_PID:-}" ] && kill "$R3_PID" 2>/dev/null || true
     rm -rf "$TMPDIR_SMOKE"
 }
 trap cleanup EXIT INT TERM
@@ -537,5 +552,169 @@ if [ "$LG_STATUS" != 0 ]; then
     cat "$TMPDIR_SMOKE/lg-manrsd.log" >&2
     exit 1
 fi
+
+echo "==> distributed serve tier smoke (3 replicas + manrs-gw, wire replication, ETag coherence, drain)"
+go build -o "$TMPDIR_SMOKE/manrs-gw" ./cmd/manrs-gw
+
+# wait_serve_addr LOGFILE PID VARNAME: poll a daemon log for its
+# serving address; fail loudly if the process dies first.
+wait_serve_addr() {
+    _addr=""
+    for _ in $(seq 1 600); do
+        _addr="$(sed -n 's|.*serving conformance queries on http://||p' "$1")"
+        [ -n "$_addr" ] && break
+        kill -0 "$2" 2>/dev/null || {
+            echo "cluster smoke: replica exited early ($1):" >&2
+            cat "$1" >&2
+            exit 1
+        }
+        sleep 0.1
+    done
+    if [ -z "$_addr" ]; then
+        echo "cluster smoke: replica never logged its serving address ($1):" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    eval "$3=\"\$_addr\""
+}
+
+# Replicas 1 and 2 build the seed world locally.
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -access-log-sample 1 \
+    >"$TMPDIR_SMOKE/r1.log" 2>&1 &
+R1_PID=$!
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -access-log-sample 1 \
+    >"$TMPDIR_SMOKE/r2.log" 2>&1 &
+R2_PID=$!
+wait_serve_addr "$TMPDIR_SMOKE/r1.log" "$R1_PID" R1_ADDR
+wait_serve_addr "$TMPDIR_SMOKE/r2.log" "$R2_PID" R2_ADDR
+# Replica 3 is the lagging replica: with -peers it must catch up from
+# replica 1 over wire replication, never running a local build.
+"$TMPDIR_SMOKE/manrsd" -scale small -listen 127.0.0.1:0 -access-log-sample 1 \
+    -peers "http://$R1_ADDR" >"$TMPDIR_SMOKE/r3.log" 2>&1 &
+R3_PID=$!
+wait_serve_addr "$TMPDIR_SMOKE/r3.log" "$R3_PID" R3_ADDR
+grep -q 'via wire replication (no local rebuild' "$TMPDIR_SMOKE/r3.log" || {
+    echo "cluster smoke: replica 3 did not catch up over wire replication:" >&2
+    cat "$TMPDIR_SMOKE/r3.log" >&2
+    exit 1
+}
+echo "cluster smoke: replica 3 synced from a peer without a local rebuild"
+
+# The gateway fronts all three with fast probes so the drain test
+# converges quickly.
+"$TMPDIR_SMOKE/manrs-gw" -replicas "http://$R1_ADDR,http://$R2_ADDR,http://$R3_ADDR" \
+    -listen 127.0.0.1:0 -probe-interval 100ms -probe-timeout 1s \
+    >"$TMPDIR_SMOKE/gw.log" 2>&1 &
+GW_PID=$!
+GW_ADDR=""
+for _ in $(seq 1 100); do
+    GW_ADDR="$(sed -n 's|.*gateway serving on http://\([0-9.:]*\) over .*|\1|p' "$TMPDIR_SMOKE/gw.log" | head -1)"
+    [ -n "$GW_ADDR" ] && break
+    kill -0 "$GW_PID" 2>/dev/null || {
+        echo "cluster smoke: gateway exited early:" >&2
+        cat "$TMPDIR_SMOKE/gw.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+if [ -z "$GW_ADDR" ]; then
+    echo "cluster smoke: gateway never logged its serving address" >&2
+    cat "$TMPDIR_SMOKE/gw.log" >&2
+    exit 1
+fi
+
+# ETag coherence: the gateway's answer for an entity must carry the
+# same strong ETag a direct replica query does (fingerprint-scoped
+# ETags are fleet-wide), and that ETag must revalidate to 304 through
+# the gateway no matter which replica owns the key.
+DIRECT_ETAG="$(curl -s -D - -o /dev/null "http://$R1_ADDR/v1/as/100/conformance" \
+    | tr -d '\r' | sed -n 's/^[Ee][Tt]ag: //p')"
+GW_CODE="$(curl -s -D "$TMPDIR_SMOKE/gw-conf.hdr" -o "$TMPDIR_SMOKE/gw-conf.json" \
+    -w '%{http_code}' "http://$GW_ADDR/v1/as/100/conformance")"
+if [ "$GW_CODE" != 200 ]; then
+    echo "cluster smoke: gateway conformance lookup returned $GW_CODE, want 200" >&2
+    cat "$TMPDIR_SMOKE/gw-conf.json" >&2
+    exit 1
+fi
+GW_ETAG="$(tr -d '\r' <"$TMPDIR_SMOKE/gw-conf.hdr" | sed -n 's/^[Ee][Tt]ag: //p')"
+if [ -z "$DIRECT_ETAG" ] || [ "$DIRECT_ETAG" != "$GW_ETAG" ]; then
+    echo "cluster smoke: ETag incoherent: direct=$DIRECT_ETAG gateway=$GW_ETAG" >&2
+    exit 1
+fi
+GW_REVAL="$(curl -s -o /dev/null -w '%{http_code}' \
+    -H "If-None-Match: $GW_ETAG" "http://$GW_ADDR/v1/as/100/conformance")"
+if [ "$GW_REVAL" != 304 ]; then
+    echo "cluster smoke: revalidation through the gateway returned $GW_REVAL, want 304" >&2
+    exit 1
+fi
+echo "cluster smoke: ETag coherent across gateway and replicas (200 -> 304)"
+
+# Seeded burst through the gateway: zero 5xx allowed (503 shed
+# excluded), p99 under a generous ceiling, recorded as
+# BENCH_ClusterLatency.json for cross-commit comparison.
+if ! BENCH_COMMIT="$BENCH_COMMIT" "$TMPDIR_SMOKE/loadgen" -targets "http://$GW_ADDR" \
+    -seed 7 -workers 6 -warmup-requests 120 -requests 800 -asn-count 800 \
+    -revalidate 0.3 -slo-p99 2s -max-5xx 0 \
+    -bench-out BENCH_ClusterLatency.json -bench-name LoadgenClusterLatency \
+    >"$TMPDIR_SMOKE/cluster-loadgen.out" 2>&1; then
+    echo "cluster smoke: gateway workload failed its gates:" >&2
+    cat "$TMPDIR_SMOKE/cluster-loadgen.out" >&2
+    exit 1
+fi
+cat "$TMPDIR_SMOKE/cluster-loadgen.out"
+[ -f BENCH_ClusterLatency.json ] || { echo "cluster smoke: BENCH_ClusterLatency.json missing" >&2; exit 1; }
+for key in p50_ns p99_ns qps; do
+    BASE_V="$(git show HEAD:BENCH_ClusterLatency.json 2>/dev/null | sed -n 's/.*"'"$key"'": \([0-9][0-9]*\).*/\1/p' || true)"
+    NEW_V="$(bench_field BENCH_ClusterLatency.json "$key")"
+    if [ -n "$BASE_V" ] && [ -n "$NEW_V" ]; then
+        printf '  cluster latency %s: %s -> %s (%+d)\n' "$key" "$BASE_V" "$NEW_V" "$((NEW_V - BASE_V))"
+    else
+        echo "  cluster latency $key: no committed baseline"
+    fi
+done
+
+# SIGTERM replica 3: it must drain cleanly, the ring must converge on
+# the survivors, and the gateway must keep answering 200.
+kill -TERM "$R3_PID"
+R3_STATUS=0
+wait "$R3_PID" || R3_STATUS=$?
+R3_PID=""
+if [ "$R3_STATUS" != 0 ]; then
+    echo "cluster smoke: replica 3 exited $R3_STATUS on SIGTERM" >&2
+    cat "$TMPDIR_SMOKE/r3.log" >&2
+    exit 1
+fi
+grep -q 'drained cleanly' "$TMPDIR_SMOKE/r3.log" || {
+    echo "cluster smoke: replica 3 did not drain cleanly:" >&2
+    cat "$TMPDIR_SMOKE/r3.log" >&2
+    exit 1
+}
+CONVERGED=""
+for _ in $(seq 1 100); do
+    if curl -s "http://$GW_ADDR/cluster/ring" | grep -q '"live": 2'; then
+        CONVERGED=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$CONVERGED" ]; then
+    echo "cluster smoke: ring did not converge on the 2 survivors:" >&2
+    curl -s "http://$GW_ADDR/cluster/ring" >&2 || true
+    exit 1
+fi
+SURVIVE_CODE="$(curl -s -o /dev/null -w '%{http_code}' "http://$GW_ADDR/v1/stats")"
+if [ "$SURVIVE_CODE" != 200 ]; then
+    echo "cluster smoke: gateway answered $SURVIVE_CODE after losing a replica, want 200" >&2
+    exit 1
+fi
+echo "cluster smoke: replica drained, ring converged on survivors, gateway kept answering"
+kill -TERM "$GW_PID" 2>/dev/null || true
+wait "$GW_PID" 2>/dev/null || true
+GW_PID=""
+kill -TERM "$R1_PID" "$R2_PID" 2>/dev/null || true
+wait "$R1_PID" 2>/dev/null || true
+wait "$R2_PID" 2>/dev/null || true
+R1_PID=""
+R2_PID=""
 
 echo "==> all checks passed"
